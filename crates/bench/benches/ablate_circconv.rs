@@ -1,0 +1,30 @@
+//! Ablation: circular convolution, direct `O(d²)` vs FFT `O(d log d)`.
+//!
+//! The paper flags circular convolution as NVSA's bandwidth-pressure
+//! kernel (Recommendation 4 motivates near-memory variants). This
+//! ablation quantifies the *algorithmic* lever first: past small
+//! dimensions the FFT kernel wins by orders of magnitude, so any hardware
+//! proposal must beat the FFT baseline, not the naive kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nsai_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_circular_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circular_conv");
+    for d in [256usize, 1024, 4096] {
+        let a = Tensor::rand_uniform(&[d], -1.0, 1.0, 1);
+        let b = Tensor::rand_uniform(&[d], -1.0, 1.0, 2);
+        group.throughput(Throughput::Elements(d as u64));
+        group.bench_with_input(BenchmarkId::new("direct", d), &d, |bench, _| {
+            bench.iter(|| black_box(a.circular_conv_direct(&b).expect("same length")));
+        });
+        group.bench_with_input(BenchmarkId::new("fft", d), &d, |bench, _| {
+            bench.iter(|| black_box(a.circular_conv_fft(&b).expect("power of two")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_circular_conv);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Ablation: codebook cleanup, full linear scan vs similarity-threshold
+//! early exit.
+//!
+//! NVSA's codebook is its dominant memory structure (Takeaway 4); cleanup
+//! (nearest-entry search) streams it entirely. Early exit trades the
+//! worst case for the common case where the query is a clean entry — the
+//! latency/footprint trade-off Recommendation 3 discusses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsai_vsa::{Codebook, Hypervector, VsaModel};
+use std::hint::black_box;
+
+fn bench_cleanup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codebook_cleanup");
+    let dim = 2048usize;
+    for size in [16usize, 64, 256] {
+        let symbols: Vec<String> = (0..size).map(|i| format!("s{i}")).collect();
+        let refs: Vec<&str> = symbols.iter().map(String::as_str).collect();
+        let cb = Codebook::generate("ablate", VsaModel::Bipolar, dim, &refs, 1);
+        // Query: a noisy copy of a mid-table entry (the realistic case).
+        let noise = Hypervector::random(VsaModel::Bipolar, dim, 999);
+        let query =
+            Hypervector::bundle(&[cb.at(size / 2).expect("in range"), &noise]).expect("compatible");
+        group.bench_with_input(BenchmarkId::new("linear_scan", size), &size, |bench, _| {
+            bench.iter(|| black_box(cb.cleanup(&query).expect("non-empty")));
+        });
+        group.bench_with_input(BenchmarkId::new("early_exit", size), &size, |bench, _| {
+            bench.iter(|| black_box(cb.cleanup_early_exit(&query, 0.4).expect("non-empty")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cleanup);
+criterion_main!(benches);

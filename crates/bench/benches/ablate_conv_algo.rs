@@ -1,0 +1,45 @@
+//! Ablation: direct convolution vs im2col+GEMM lowering.
+//!
+//! The paper's neural kernels run on GEMM-optimized hardware (Tab. IV's
+//! `sgemm_nn` *is* the convolution on their testbed, via cuDNN's im2col
+//! lowering). This ablation measures both algorithms on the same shapes:
+//! the lowering trades extra memory traffic (the unfolded column matrix)
+//! for a single cache-friendly GEMM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nsai_tensor::ops::conv::Conv2dParams;
+use nsai_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_conv_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_algorithm");
+    for (c_in, c_out, res) in [(4usize, 8usize, 16usize), (8, 16, 32)] {
+        let input = Tensor::rand_uniform(&[1, c_in, res, res], -1.0, 1.0, 1);
+        let kernel = Tensor::rand_uniform(&[c_out, c_in, 3, 3], -1.0, 1.0, 2);
+        let label = format!("{c_in}x{res}to{c_out}");
+        let flops = 2 * c_out * c_in * 9 * (res - 2) * (res - 2);
+        group.throughput(Throughput::Elements(flops as u64));
+        group.bench_with_input(BenchmarkId::new("direct", &label), &label, |b, _| {
+            b.iter(|| {
+                black_box(
+                    input
+                        .conv2d(&kernel, None, Conv2dParams::default())
+                        .expect("shapes match"),
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("im2col_gemm", &label), &label, |b, _| {
+            b.iter(|| {
+                black_box(
+                    input
+                        .conv2d_im2col(&kernel, None, Conv2dParams::default())
+                        .expect("shapes match"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv_algorithms);
+criterion_main!(benches);

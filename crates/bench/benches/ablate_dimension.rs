@@ -1,0 +1,38 @@
+//! Ablation: hypervector dimension sweep for the NVSA backend.
+//!
+//! Dimension buys codebook quasi-orthogonality (reasoning robustness) at
+//! linear memory/bandwidth cost — the scalability axis behind Fig. 2c and
+//! the "codebook must be large enough" observation of Takeaway 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nsai_bench::profiled_run;
+use nsai_workloads::nvsa::{Nvsa, NvsaConfig};
+use nsai_workloads::perception::PerceptionMode;
+use nsai_workloads::Workload;
+use std::hint::black_box;
+
+fn bench_dimension(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nvsa_dimension");
+    group.sample_size(10);
+    for dim in [512usize, 1024, 2048] {
+        group.throughput(Throughput::Elements(dim as u64));
+        group.bench_with_input(BenchmarkId::new("solve", dim), &dim, |bench, _| {
+            // Prepare once (codebook generation is setup, not inference).
+            let mut nvsa = Nvsa::new(NvsaConfig {
+                dim,
+                problems: 1,
+                mode: PerceptionMode::Oracle { noise: 0.05 },
+                ..NvsaConfig::small()
+            });
+            nvsa.prepare().expect("prepare succeeds");
+            bench.iter(|| {
+                let (report, _, output) = profiled_run(&mut nvsa);
+                black_box((report.total_duration(), output))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dimension);
+criterion_main!(benches);

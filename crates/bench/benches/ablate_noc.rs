@@ -1,0 +1,62 @@
+//! Ablation: multi-PE symbolic offload across NoC mesh sizes
+//! (Recommendation 6).
+//!
+//! Analytic study (no wall-clock measurement target — the "benchmark"
+//! sweeps the model and asserts/prints the trade-off): a compute-bound
+//! operator keeps scaling with PE count; a memory-bound vector-symbolic
+//! operator saturates once scatter/gather dominates — quantifying why the
+//! paper pairs "efficient vector-symbolic units" with "high-bandwidth
+//! NoC" rather than raw PE count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsai_simarch::MeshNoc;
+use std::hint::black_box;
+
+fn bench_offload_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc_offload_model");
+    // NVSA-like symbolic operator: bundle/bind over d=8192 hypervectors,
+    // 50 context vectors → ~1.6 MB of operand traffic, ~0.4 MFLOP.
+    let sym_flops = 50_000u64;
+    let sym_bytes = 1_600_000u64;
+    // GEMM-like neural operator for contrast.
+    let nn_flops = 2_000_000_000u64;
+    let nn_bytes = 12_000_000u64;
+    for side in [2usize, 4, 8] {
+        let mesh = MeshNoc::accelerator_like(side, side);
+        group.bench_with_input(
+            BenchmarkId::new("symbolic_bundle", side * side),
+            &side,
+            |b, _| {
+                b.iter(|| black_box(mesh.offload_latency_ns(sym_flops, sym_bytes, 2.0)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("neural_gemm", side * side),
+            &side,
+            |b, _| {
+                b.iter(|| black_box(mesh.offload_latency_ns(nn_flops, nn_bytes, 2.0)));
+            },
+        );
+    }
+    group.finish();
+
+    // Print the actual study table once (criterion measures the model's
+    // evaluation cost, which is not the point; the table is).
+    println!("\nNoC offload latency model (ns):");
+    println!(
+        "{:>6} {:>18} {:>18}",
+        "PEs", "symbolic_bundle", "neural_gemm"
+    );
+    for side in [1usize, 2, 4, 8] {
+        let mesh = MeshNoc::accelerator_like(side, side);
+        println!(
+            "{:>6} {:>18.0} {:>18.0}",
+            side * side,
+            mesh.offload_latency_ns(sym_flops, sym_bytes, 2.0),
+            mesh.offload_latency_ns(nn_flops, nn_bytes, 2.0)
+        );
+    }
+}
+
+criterion_group!(benches, bench_offload_model);
+criterion_main!(benches);

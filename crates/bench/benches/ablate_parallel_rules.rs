@@ -1,0 +1,106 @@
+//! Ablation: sequential vs parallel rule detection (Recommendation 5).
+//!
+//! NVSA's rule detection iterates hypotheses × attributes sequentially —
+//! the paper's system-level recommendation is "adaptive workload
+//! scheduling with parallelism processing". The hypotheses are
+//! independent, so a scoped-thread fan-out across attributes is the
+//! natural software-only version of that recommendation. This ablation
+//! measures the speedup on a faithful standalone reconstruction of the
+//! scoring loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsai_vsa::{Codebook, Hypervector};
+use std::hint::black_box;
+
+struct RuleScoringTask {
+    /// Per-attribute encoded context rows: `[row][panel]` hypervectors.
+    rows: Vec<Vec<Hypervector>>,
+    /// The attribute's shift base.
+    base: Hypervector,
+}
+
+fn build_tasks(dim: usize, attributes: usize) -> Vec<RuleScoringTask> {
+    (0..attributes)
+        .map(|attr| {
+            let base = Hypervector::random_unitary(dim, 100 + attr as u64);
+            let symbols: Vec<String> = (0..9).map(|v| v.to_string()).collect();
+            let refs: Vec<&str> = symbols.iter().map(String::as_str).collect();
+            let cb = Codebook::fractional_power("v", &base, 9, &refs).expect("hrr base");
+            let rows = (0..3)
+                .map(|r| {
+                    (0..3)
+                        .map(|c| cb.at((r + c) % 9).expect("in range").clone())
+                        .collect()
+                })
+                .collect();
+            RuleScoringTask { rows, base }
+        })
+        .collect()
+}
+
+/// Score the 7-rule hypothesis space for one attribute (the NVSA inner
+/// loop, minus the profiler).
+fn score_attribute(task: &RuleScoringTask) -> usize {
+    let mut best = (f32::NEG_INFINITY, 0usize);
+    for (idx, rule) in (0..7).enumerate() {
+        let mut score = 0.0f32;
+        for row in task.rows.iter().take(2) {
+            let pred = match rule {
+                0 => row[1].clone(),
+                1..=3 => {
+                    let delta = rule; // 1, 2, 3
+                    let shift = task.base.conv_power(delta).expect("hrr");
+                    row[1].bind(&shift).expect("compatible")
+                }
+                4 => row[0].bind(&row[1]).expect("compatible"),
+                5 => row[0].unbind(&row[1]).expect("compatible"),
+                _ => {
+                    let sum = row[0]
+                        .as_tensor()
+                        .add(row[1].as_tensor())
+                        .expect("same shape");
+                    Hypervector::from_tensor(nsai_vsa::VsaModel::Hrr, sum).expect("rank 1")
+                }
+            };
+            score += pred.similarity(&row[2]).expect("compatible");
+        }
+        if score > best.0 {
+            best = (score, idx);
+        }
+    }
+    best.1
+}
+
+fn bench_rule_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rule_detection");
+    group.sample_size(20);
+    for dim in [1024usize, 4096] {
+        let tasks = build_tasks(dim, 5);
+        group.bench_with_input(BenchmarkId::new("sequential", dim), &dim, |bench, _| {
+            bench.iter(|| {
+                let winners: Vec<usize> = tasks.iter().map(score_attribute).collect();
+                black_box(winners)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", dim), &dim, |bench, _| {
+            bench.iter(|| {
+                let winners = crossbeam::scope(|scope| {
+                    let handles: Vec<_> = tasks
+                        .iter()
+                        .map(|task| scope.spawn(move |_| score_attribute(task)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("worker panicked"))
+                        .collect::<Vec<usize>>()
+                })
+                .expect("scope");
+                black_box(winners)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rule_detection);
+criterion_main!(benches);

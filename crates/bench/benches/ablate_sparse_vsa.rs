@@ -1,0 +1,77 @@
+//! Ablation: exploiting the >95% sparsity of Fig. 5 (Recommendation 7).
+//!
+//! The PMF→VSA transform is a weighted superposition whose weights are a
+//! near-one-hot PMF. A dense implementation touches every codebook row; a
+//! sparsity-aware one skips zero-mass rows. This ablation sweeps the PMF
+//! density and measures both, plus the CSR-vs-dense contrast on matrices
+//! at NVSA-like sparsity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsai_tensor::{CooMatrix, Tensor};
+use nsai_vsa::{Codebook, VsaModel};
+use std::hint::black_box;
+
+/// Dense superposition: multiply-accumulate every entry, even zero-mass.
+fn superpose_dense(cb: &Codebook, pmf: &[f32]) -> Tensor {
+    let mut acc = Tensor::zeros(&[cb.dim()]);
+    for (i, w) in pmf.iter().enumerate() {
+        let scaled = cb.at(i).expect("in range").as_tensor().mul_scalar(*w);
+        acc = acc.add(&scaled).expect("same shape");
+    }
+    acc
+}
+
+fn bench_superposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pmf_superposition");
+    let card = 64usize;
+    let symbols: Vec<String> = (0..card).map(|i| format!("v{i}")).collect();
+    let refs: Vec<&str> = symbols.iter().map(String::as_str).collect();
+    let cb = Codebook::generate("sparse", VsaModel::Bipolar, 4096, &refs, 1);
+    for nonzeros in [1usize, 4, 16, 64] {
+        let mut pmf = vec![0.0f32; card];
+        for (i, v) in pmf.iter_mut().take(nonzeros).enumerate() {
+            *v = 1.0 / (i + 1) as f32;
+        }
+        let total: f32 = pmf.iter().sum();
+        pmf.iter_mut().for_each(|v| *v /= total);
+        group.bench_with_input(
+            BenchmarkId::new("dense", nonzeros),
+            &nonzeros,
+            |bench, _| {
+                bench.iter(|| black_box(superpose_dense(&cb, &pmf)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sparsity_aware", nonzeros),
+            &nonzeros,
+            |bench, _| {
+                // encode_pmf skips zero-mass entries.
+                bench.iter(|| black_box(cb.encode_pmf(&pmf).expect("matching length")));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sparse_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_matrix_95pct");
+    let n = 256usize;
+    let mut dense = Tensor::rand_uniform(&[n, n], -1.0, 1.0, 2);
+    for (i, v) in dense.data_mut().iter_mut().enumerate() {
+        if i % 20 != 0 {
+            *v = 0.0; // 95% sparse, the Fig. 5 regime
+        }
+    }
+    let csr = CooMatrix::from_dense(&dense).expect("matrix").to_csr();
+    let v = Tensor::rand_uniform(&[n], -1.0, 1.0, 3);
+    group.bench_function("dense_matvec", |bench| {
+        bench.iter(|| black_box(dense.matvec(&v).expect("shapes match")));
+    });
+    group.bench_function("csr_spmv", |bench| {
+        bench.iter(|| black_box(csr.spmv(&v).expect("shapes match")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_superposition, bench_sparse_matmul);
+criterion_main!(benches);

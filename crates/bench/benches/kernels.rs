@@ -1,0 +1,101 @@
+//! Kernel micro-benchmarks: the operator classes of Sec. IV-B, measured in
+//! isolation. These are the numbers behind the Fig. 3 narrative — GEMM and
+//! convolution sustain high arithmetic rates; element-wise and transform
+//! kernels are bandwidth-limited.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nsai_tensor::ops::conv::Conv2dParams;
+use nsai_tensor::{CooMatrix, Tensor};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [32usize, 64, 128] {
+        let a = Tensor::rand_uniform(&[n, n], -1.0, 1.0, 1);
+        let b = Tensor::rand_uniform(&[n, n], -1.0, 1.0, 2);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("sgemm", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b).expect("shapes match")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d");
+    for res in [16usize, 32] {
+        let input = Tensor::rand_uniform(&[1, 8, res, res], -1.0, 1.0, 3);
+        let kernel = Tensor::rand_uniform(&[16, 8, 3, 3], -1.0, 1.0, 4);
+        let flops = 2 * 16 * 8 * 9 * (res - 2) * (res - 2);
+        group.throughput(Throughput::Elements(flops as u64));
+        group.bench_with_input(BenchmarkId::new("3x3x8->16", res), &res, |bench, _| {
+            bench.iter(|| {
+                black_box(
+                    input
+                        .conv2d(&kernel, None, Conv2dParams::default())
+                        .expect("shapes match"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_elementwise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elementwise");
+    for n in [4096usize, 65_536] {
+        let a = Tensor::rand_uniform(&[n], -1.0, 1.0, 5);
+        let b = Tensor::rand_uniform(&[n], -1.0, 1.0, 6);
+        group.throughput(Throughput::Bytes((3 * n * 4) as u64));
+        group.bench_with_input(BenchmarkId::new("mul", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.mul(&b).expect("same shape")));
+        });
+        group.bench_with_input(BenchmarkId::new("relu", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.relu()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm_vs_dense");
+    let n = 128usize;
+    // 95%-sparse matrix (the Fig. 5 regime).
+    let mut dense = Tensor::rand_uniform(&[n, n], -1.0, 1.0, 7);
+    for (i, v) in dense.data_mut().iter_mut().enumerate() {
+        if i % 20 != 0 {
+            *v = 0.0;
+        }
+    }
+    let csr = CooMatrix::from_dense(&dense).expect("matrix").to_csr();
+    let rhs = Tensor::rand_uniform(&[n, n], -1.0, 1.0, 8);
+    group.bench_function("dense_gemm_95pct_zero", |bench| {
+        bench.iter(|| black_box(dense.matmul(&rhs).expect("shapes match")));
+    });
+    group.bench_function("csr_spmm_95pct_zero", |bench| {
+        bench.iter(|| black_box(csr.spmm(&rhs).expect("shapes match")));
+    });
+    group.finish();
+}
+
+fn bench_reductions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reductions");
+    let t = Tensor::rand_uniform(&[64, 256], -1.0, 1.0, 9);
+    group.bench_function("softmax_64x256", |bench| {
+        bench.iter(|| black_box(t.softmax().expect("rank >= 1")));
+    });
+    group.bench_function("sum_axis0_64x256", |bench| {
+        bench.iter(|| black_box(t.sum_axis(0).expect("axis exists")));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_conv2d,
+    bench_elementwise,
+    bench_spmm,
+    bench_reductions
+);
+criterion_main!(benches);

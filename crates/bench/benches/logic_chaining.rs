@@ -1,0 +1,81 @@
+//! Logic-engine benchmarks: forward-chaining scaling with KB size — the
+//! database-query load the paper identifies in LNN/LTN/NLM symbolic
+//! components ("posing parallelism optimization opportunities in their
+//! database queries, especially for larger symbolic models").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nsai_data::logic_kb::{university_kb, UniversityConfig};
+use nsai_logic::kb::{KnowledgeBase, Rule};
+use nsai_logic::term::{Atom, Term};
+use std::hint::black_box;
+
+fn build_kb(departments: usize) -> KnowledgeBase {
+    let uni = university_kb(
+        UniversityConfig {
+            departments,
+            professors_per_dept: 3,
+            students_per_dept: 8,
+            courses_per_dept: 4,
+        },
+        1,
+    );
+    let mut kb = KnowledgeBase::new();
+    for (p, e) in &uni.unary {
+        kb.add_fact(Atom::prop1(p.clone(), e.clone()));
+    }
+    for (p, s, o) in &uni.binary {
+        kb.add_fact(Atom::prop2(p.clone(), s.clone(), o.clone()));
+    }
+    kb.add_rule(Rule::new(
+        Atom::new("taught_by", vec![Term::var("S"), Term::var("P")]),
+        vec![
+            Atom::new("enrolled", vec![Term::var("S"), Term::var("C")]),
+            Atom::new("teaches", vec![Term::var("P"), Term::var("C")]),
+        ],
+    ));
+    kb.add_rule(Rule::new(
+        Atom::new("colleague", vec![Term::var("X"), Term::var("Y")]),
+        vec![
+            Atom::new("works_for", vec![Term::var("X"), Term::var("D")]),
+            Atom::new("works_for", vec![Term::var("Y"), Term::var("D")]),
+        ],
+    ));
+    kb
+}
+
+fn bench_forward_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward_chain");
+    group.sample_size(20);
+    for departments in [1usize, 2, 4] {
+        let kb = build_kb(departments);
+        group.throughput(Throughput::Elements(kb.facts().len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("university_closure", kb.facts().len()),
+            &departments,
+            |b, _| {
+                b.iter(|| black_box(kb.forward_chain(4)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_backward_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backward_chain");
+    let kb = build_kb(2);
+    let provable = Atom::new(
+        "taught_by",
+        vec![Term::constant("student0_0"), Term::var("P")],
+    );
+    let unprovable = Atom::prop2("taught_by", "prof0_0", "prof0_1");
+    group.bench_function("provable_goal", |b| {
+        b.iter(|| black_box(kb.backward_chain(&provable, 8).expect("within depth")));
+    });
+    group.bench_function("unprovable_goal", |b| {
+        b.iter(|| black_box(kb.backward_chain(&unprovable, 8).expect("within depth")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward_chain, bench_backward_chain);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! End-to-end workload benchmarks: one inference of each of the seven
+//! representative models (the Fig. 2a measurement, under Criterion's
+//! statistics).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nsai_workloads::lnn::{Lnn, LnnConfig};
+use nsai_workloads::ltn::{Ltn, LtnConfig};
+use nsai_workloads::nlm::{Nlm, NlmConfig};
+use nsai_workloads::nvsa::{Nvsa, NvsaConfig};
+use nsai_workloads::prae::{Prae, PraeConfig};
+use nsai_workloads::vsait::{Vsait, VsaitConfig};
+use nsai_workloads::zeroc::{ZeroC, ZeroCConfig};
+use nsai_workloads::Workload;
+use std::hint::black_box;
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+
+    group.bench_function("lnn", |b| {
+        let mut w = Lnn::new(LnnConfig::small());
+        b.iter(|| black_box(w.run().expect("runs")));
+    });
+    group.bench_function("ltn", |b| {
+        let mut w = Ltn::new(LtnConfig::small());
+        b.iter(|| black_box(w.run().expect("runs")));
+    });
+    group.bench_function("nvsa", |b| {
+        let mut w = Nvsa::new(NvsaConfig::small());
+        w.prepare().expect("prepare succeeds");
+        b.iter(|| black_box(w.run().expect("runs")));
+    });
+    group.bench_function("nlm", |b| {
+        let mut w = Nlm::new(NlmConfig::small());
+        b.iter(|| black_box(w.run().expect("runs")));
+    });
+    group.bench_function("vsait", |b| {
+        let mut w = Vsait::new(VsaitConfig::small());
+        b.iter(|| black_box(w.run().expect("runs")));
+    });
+    group.bench_function("zeroc", |b| {
+        let mut w = ZeroC::new(ZeroCConfig::small());
+        b.iter(|| black_box(w.run().expect("runs")));
+    });
+    group.bench_function("prae", |b| {
+        let mut w = Prae::new(PraeConfig::small());
+        w.prepare().expect("prepare succeeds");
+        b.iter(|| black_box(w.run().expect("runs")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! `figures` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures [EXHIBIT...]
+//!
+//! EXHIBIT: 2a 2b 2c 3a 3b 3c 4 5 tab1 tab4 rec6 | all (default)
+//! ```
+//!
+//! Each exhibit prints its text table to stdout and writes a JSON file
+//! into `results/`.
+
+use nsai_bench::CharacterizationSet;
+use nsai_bench::{fig2a, fig2b, fig2c, fig3a, fig3b, fig3c, fig4, fig5, rec6, tab1, tab4};
+use std::fs;
+use std::path::Path;
+
+fn write_json<T: serde::Serialize>(name: &str, rows: &T) {
+    let dir = Path::new("results");
+    if fs::create_dir_all(dir).is_err() {
+        eprintln!("warning: could not create results/; skipping JSON export");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(rows) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "figures — regenerate the ISPASS 2024 tables and figures\n\n\
+             usage: figures [EXHIBIT...]\n\n\
+             EXHIBIT: 2a 2b 2c 3a 3b 3c 4 5 tab1 tab4 rec6 | all (default)\n\n\
+             Each exhibit prints its text table to stdout and writes\n\
+             results/<exhibit>.json."
+        );
+        return;
+    }
+    let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        [
+            "2a", "2b", "2c", "3a", "3b", "3c", "4", "5", "tab1", "tab4", "rec6",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    } else {
+        args
+    };
+    let needs_set = wanted
+        .iter()
+        .any(|w| matches!(w.as_str(), "2a" | "3a" | "3b" | "3c" | "4"));
+    let set = if needs_set {
+        eprintln!("running all seven workloads under the profiler...");
+        Some(CharacterizationSet::collect())
+    } else {
+        None
+    };
+
+    for exhibit in &wanted {
+        match exhibit.as_str() {
+            "2a" => {
+                let rows = fig2a::generate(set.as_ref().expect("collected"));
+                print!("{}", fig2a::render(&rows));
+                write_json("fig2a", &rows);
+            }
+            "2b" => {
+                let rows = fig2b::generate();
+                print!("{}", fig2b::render(&rows));
+                write_json("fig2b", &rows);
+            }
+            "2c" => {
+                let rows = fig2c::generate();
+                print!("{}", fig2c::render(&rows));
+                write_json("fig2c", &rows);
+            }
+            "3a" => {
+                let rows = fig3a::generate(set.as_ref().expect("collected"));
+                print!("{}", fig3a::render(&rows));
+                write_json("fig3a", &rows);
+            }
+            "3b" => {
+                let rows = fig3b::generate(set.as_ref().expect("collected"));
+                print!("{}", fig3b::render(&rows));
+                write_json("fig3b", &rows);
+            }
+            "3c" => {
+                let rows = fig3c::generate(set.as_ref().expect("collected"));
+                print!("{}", fig3c::render(&rows));
+                write_json("fig3c", &rows);
+            }
+            "4" => {
+                let rows = fig4::generate(set.as_ref().expect("collected"));
+                print!("{}", fig4::render(&rows));
+                write_json("fig4", &rows);
+            }
+            "5" => {
+                let rows = fig5::generate();
+                print!("{}", fig5::render(&rows));
+                write_json("fig5", &rows);
+            }
+            "tab1" => {
+                let rows = tab1::generate();
+                print!("{}", tab1::render(&rows));
+                write_json("tab1", &rows);
+            }
+            "tab4" => {
+                let rows = tab4::generate(8);
+                print!("{}", tab4::render(&rows));
+                write_json("tab4", &rows);
+            }
+            "rec6" => {
+                let rows = rec6::generate();
+                print!("{}", rec6::render(&rows));
+                write_json("rec6", &rows);
+            }
+            other => {
+                eprintln!("unknown exhibit `{other}` (try: 2a 2b 2c 3a 3b 3c 4 5 tab1 tab4 rec6)")
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,50 @@
+//! `trace` — export one workload's profiled run as a Chrome trace.
+//!
+//! ```text
+//! trace <WORKLOAD> [OUT.json]
+//!
+//! WORKLOAD: lnn ltn nvsa nlm vsait zeroc prae
+//! ```
+//!
+//! Load the resulting JSON in `chrome://tracing` or
+//! <https://ui.perfetto.dev> to inspect the neural/symbolic timeline — the
+//! interactive counterpart of the paper's Fig. 4.
+
+use nsai_bench::profiled_run;
+use nsai_core::export::to_chrome_trace;
+use nsai_workloads::{all_workloads_small, Workload};
+use std::fs;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(name) = args.next() else {
+        eprintln!("usage: trace <lnn|ltn|nvsa|nlm|vsait|zeroc|prae> [out.json]");
+        std::process::exit(2);
+    };
+    let out_path = args
+        .next()
+        .unwrap_or_else(|| format!("results/trace_{name}.json"));
+
+    let mut workload: Box<dyn Workload> =
+        match all_workloads_small().into_iter().find(|w| w.name() == name) {
+            Some(w) => w,
+            None => {
+                eprintln!("unknown workload `{name}` (try: lnn ltn nvsa nlm vsait zeroc prae)");
+                std::process::exit(2);
+            }
+        };
+
+    eprintln!("running {name} under the profiler...");
+    let (report, events, _) = profiled_run(workload.as_mut());
+    let json = to_chrome_trace(&events).expect("trace serialization");
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        let _ = fs::create_dir_all(parent);
+    }
+    fs::write(&out_path, json).expect("write trace file");
+    println!(
+        "wrote {} events ({:.2} ms total) to {out_path}",
+        report.event_count(),
+        report.total_duration().as_secs_f64() * 1e3
+    );
+    println!("open chrome://tracing or https://ui.perfetto.dev and load the file");
+}

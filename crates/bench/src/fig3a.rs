@@ -1,0 +1,88 @@
+//! Fig. 3a — operator-category runtime ratio per workload and phase.
+//!
+//! The paper's key observations: the neural components are MatMul/Conv
+//! dominated; the symbolic components are dominated by vector/element-wise
+//! and logical operations, with data movement prominent for LNN.
+
+use crate::CharacterizationSet;
+use nsai_core::taxonomy::{OpCategory, Phase};
+use serde::Serialize;
+
+/// Per-(workload, phase) category shares.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3aRow {
+    /// Workload name.
+    pub workload: String,
+    /// Phase ("neural" / "symbolic").
+    pub phase: String,
+    /// Runtime share per category, Fig. 3a legend order
+    /// (conv, matmul, vec/elem, transform, movement, other).
+    pub shares: [f64; 6],
+}
+
+/// Generate the figure's rows.
+pub fn generate(set: &CharacterizationSet) -> Vec<Fig3aRow> {
+    let mut rows = Vec::new();
+    for report in &set.reports {
+        for phase in Phase::ALL {
+            let mut shares = [0.0f64; 6];
+            for (i, cat) in OpCategory::ALL.iter().enumerate() {
+                shares[i] = report.category_fraction(phase, *cat);
+            }
+            rows.push(Fig3aRow {
+                workload: report.workload().to_owned(),
+                phase: phase.to_string(),
+                shares,
+            });
+        }
+    }
+    rows
+}
+
+/// Render the figure as a text table.
+pub fn render(rows: &[Fig3aRow]) -> String {
+    let mut out = String::from(
+        "== Fig. 3a: operator-category runtime ratio ==\n\
+         workload   phase       conv  matmul  vec/elem  transform  movement   other\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<9} {:<9} {:>6.1}% {:>6.1}% {:>8.1}% {:>9.1}% {:>8.1}% {:>6.1}%\n",
+            r.workload,
+            r.phase,
+            r.shares[0] * 100.0,
+            r.shares[1] * 100.0,
+            r.shares[2] * 100.0,
+            r.shares[3] * 100.0,
+            r.shares[4] * 100.0,
+            r.shares[5] * 100.0,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsai_core::takeaways::check_operator_mix;
+
+    #[test]
+    fn category_shares_sum_to_one_for_active_phases() {
+        let set = CharacterizationSet::collect();
+        let rows = generate(&set);
+        assert_eq!(rows.len(), 14);
+        for r in &rows {
+            let sum: f64 = r.shares.iter().sum();
+            // A phase with zero recorded time has all-zero shares.
+            assert!(
+                sum < 1e-9 || (sum - 1.0).abs() < 1e-6,
+                "{} {}: sum {sum}",
+                r.workload,
+                r.phase
+            );
+        }
+        // Takeaway 3 holds over the whole set.
+        let t3 = check_operator_mix(&set.reports);
+        assert!(t3.passed, "{}", t3.detail);
+    }
+}

@@ -1,0 +1,110 @@
+//! Fig. 3b — memory usage during computation.
+//!
+//! Reports the transient high-water mark (total and per phase), the
+//! allocation traffic, and the persistent storage split between neural
+//! weights and symbolic codebooks — the paper's Takeaway 4: weights and
+//! codebooks dominate storage while symbolic phases demand the largest
+//! intermediate caching.
+
+use crate::CharacterizationSet;
+use nsai_core::taxonomy::Phase;
+use serde::Serialize;
+
+/// One workload's memory profile.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3bRow {
+    /// Workload name.
+    pub workload: String,
+    /// Peak transient bytes.
+    pub high_water_bytes: u64,
+    /// Peak transient bytes while the symbolic phase allocated.
+    pub symbolic_high_water_bytes: u64,
+    /// Total allocation traffic in bytes.
+    pub alloc_traffic_bytes: u64,
+    /// Persistent storage owned by the neural phase (weights).
+    pub neural_storage_bytes: u64,
+    /// Persistent storage owned by the symbolic phase (codebooks, tables).
+    pub symbolic_storage_bytes: u64,
+}
+
+/// Generate the figure's rows.
+pub fn generate(set: &CharacterizationSet) -> Vec<Fig3bRow> {
+    set.reports
+        .iter()
+        .map(|report| {
+            let memory = report.memory();
+            Fig3bRow {
+                workload: report.workload().to_owned(),
+                high_water_bytes: memory.high_water_bytes(),
+                symbolic_high_water_bytes: memory.phase_high_water(Phase::Symbolic),
+                alloc_traffic_bytes: memory.alloc_bytes_total(),
+                neural_storage_bytes: memory.storage_bytes_for(Phase::Neural),
+                symbolic_storage_bytes: memory.storage_bytes_for(Phase::Symbolic),
+            }
+        })
+        .collect()
+}
+
+fn human(bytes: u64) -> String {
+    if bytes >= 1 << 20 {
+        format!("{:.1}MiB", bytes as f64 / (1 << 20) as f64)
+    } else if bytes >= 1 << 10 {
+        format!("{:.1}KiB", bytes as f64 / (1 << 10) as f64)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Render the figure as a text table.
+pub fn render(rows: &[Fig3bRow]) -> String {
+    let mut out = String::from(
+        "== Fig. 3b: memory usage during computation ==\n\
+         workload   peak      sym_peak   traffic     weights    codebooks\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<9} {:>9} {:>9} {:>10} {:>10} {:>10}\n",
+            r.workload,
+            human(r.high_water_bytes),
+            human(r.symbolic_high_water_bytes),
+            human(r.alloc_traffic_bytes),
+            human(r.neural_storage_bytes),
+            human(r.symbolic_storage_bytes),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_profiles_are_populated() {
+        let set = CharacterizationSet::collect();
+        let rows = generate(&set);
+        assert_eq!(rows.len(), 7);
+        for r in &rows {
+            assert!(r.high_water_bytes > 0, "{}: zero peak", r.workload);
+            assert!(r.alloc_traffic_bytes >= r.high_water_bytes);
+        }
+        // NVSA's codebooks dominate its persistent storage (Takeaway 4).
+        let nvsa = rows.iter().find(|r| r.workload == "nvsa").unwrap();
+        assert!(
+            nvsa.symbolic_storage_bytes > nvsa.neural_storage_bytes,
+            "nvsa codebooks {} vs weights {}",
+            nvsa.symbolic_storage_bytes,
+            nvsa.neural_storage_bytes
+        );
+        // PrAE's symbolic phase drives its transient peak.
+        let prae = rows.iter().find(|r| r.workload == "prae").unwrap();
+        assert!(prae.symbolic_high_water_bytes > 0);
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human(512), "512B");
+        assert_eq!(human(2048), "2.0KiB");
+        assert!(human(3 << 20).contains("MiB"));
+    }
+}

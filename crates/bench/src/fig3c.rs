@@ -1,0 +1,93 @@
+//! Fig. 3c — roofline placement on the RTX 2080 Ti.
+//!
+//! Each workload contributes two aggregate points (neural, symbolic). The
+//! paper's claim to reproduce: symbolic points sit in the memory-bound
+//! region (left of the ridge), neural points in or near the compute-bound
+//! region.
+
+use crate::CharacterizationSet;
+use nsai_core::roofline::Bound;
+use nsai_core::taxonomy::Phase;
+use nsai_simarch::device::Device;
+use serde::Serialize;
+
+/// One roofline point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3cRow {
+    /// Point label, e.g. `"nvsa/symbolic"`.
+    pub label: String,
+    /// Workload name.
+    pub workload: String,
+    /// Phase.
+    pub phase: String,
+    /// Operational intensity in FLOPs/byte.
+    pub intensity: f64,
+    /// Classification against the device ridge.
+    pub bound: String,
+}
+
+/// Generate the figure's rows against the RTX 2080 Ti roofline.
+pub fn generate(set: &CharacterizationSet) -> Vec<Fig3cRow> {
+    let device = Device::rtx_2080_ti().roofline();
+    let mut rows = Vec::new();
+    for report in &set.reports {
+        for phase in Phase::ALL {
+            if let Some(intensity) = report.phase_intensity(phase) {
+                let bound = device.classify(intensity);
+                rows.push(Fig3cRow {
+                    label: format!("{}/{}", report.workload(), phase),
+                    workload: report.workload().to_owned(),
+                    phase: phase.to_string(),
+                    intensity,
+                    bound: match bound {
+                        Bound::Memory => "memory-bound".into(),
+                        Bound::Compute => "compute-bound".into(),
+                    },
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Render the figure as a text table.
+pub fn render(rows: &[Fig3cRow]) -> String {
+    let ridge = Device::rtx_2080_ti().roofline().ridge_point();
+    let mut out = format!(
+        "== Fig. 3c: roofline placement (RTX 2080 Ti, ridge {ridge:.1} flop/B) ==\n\
+         point              intensity      bound\n"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18} {:>9.3}      {}\n",
+            r.label, r.intensity, r.bound
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbolic_points_are_memory_bound() {
+        let set = CharacterizationSet::collect();
+        let rows = generate(&set);
+        assert!(rows.len() >= 13, "expected ~14 points, got {}", rows.len());
+        for r in rows.iter().filter(|r| r.phase == "symbolic") {
+            assert_eq!(r.bound, "memory-bound", "{}", r.label);
+        }
+        // Neural intensities exceed symbolic ones for each workload.
+        for workload in ["nvsa", "vsait", "zeroc", "prae"] {
+            let of = |phase: &str| {
+                rows.iter()
+                    .find(|r| r.workload == workload && r.phase == phase)
+                    .map(|r| r.intensity)
+            };
+            if let (Some(n), Some(s)) = (of("neural"), of("symbolic")) {
+                assert!(n > s, "{workload}: neural {n} <= symbolic {s}");
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Fig. 5 — sparsity of NVSA's symbolic modules per reasoning attribute.
+//!
+//! The paper measures the PMF→VSA transform, the probability computation,
+//! and the VSA→PMF transform per rule attribute and finds >95% sparsity
+//! with attribute-dependent variation. The harness runs NVSA and reads the
+//! sparsity records its backend accumulates.
+
+use crate::profiled_run;
+use nsai_workloads::nvsa::{Nvsa, NvsaConfig};
+use serde::Serialize;
+
+/// One (module, attribute) sparsity measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5Row {
+    /// Symbolic module (`pmf_to_vsa` / `prob_compute` / `vsa_to_pmf`).
+    pub module: String,
+    /// Rule attribute.
+    pub attribute: String,
+    /// Measured sparsity in `[0, 1]`.
+    pub sparsity: f64,
+    /// Elements observed.
+    pub elems: u64,
+}
+
+/// Generate the figure's rows (runs NVSA once).
+pub fn generate() -> Vec<Fig5Row> {
+    let mut nvsa = Nvsa::new(NvsaConfig {
+        problems: 4,
+        ..NvsaConfig::small()
+    });
+    let _ = profiled_run(&mut nvsa);
+    nvsa.sparsity_records()
+        .iter()
+        .map(|r| Fig5Row {
+            module: r.module.to_owned(),
+            attribute: r.attribute.to_owned(),
+            sparsity: r.stats.sparsity(),
+            elems: r.stats.elems(),
+        })
+        .collect()
+}
+
+/// Render the figure as a text table.
+pub fn render(rows: &[Fig5Row]) -> String {
+    let mut out = String::from(
+        "== Fig. 5: NVSA symbolic-module sparsity per attribute ==\n\
+         module        attribute   sparsity    elems\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<13} {:<10} {:>7.2}%  {:>7}\n",
+            r.module,
+            r.attribute,
+            r.sparsity * 100.0,
+            r.elems
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsai_core::takeaways::check_sparsity;
+
+    #[test]
+    fn sparsity_is_high_with_attribute_variation() {
+        let rows = generate();
+        // 3 modules × 5 attributes.
+        assert_eq!(rows.len(), 15);
+        // The encode-side modules exceed 70% sparsity everywhere (the
+        // paper's >95% is against cardinalities of 100s; ours are 5–10,
+        // which caps the achievable zero fraction at (card−1)/card).
+        for r in rows.iter().filter(|r| r.module != "vsa_to_pmf") {
+            assert!(
+                r.sparsity > 0.7,
+                "{} {}: {}",
+                r.module,
+                r.attribute,
+                r.sparsity
+            );
+        }
+        // Takeaway 7 over the PMF→VSA module: high with variation.
+        let pmf_rows: Vec<(String, f64)> = rows
+            .iter()
+            .filter(|r| r.module == "pmf_to_vsa")
+            .map(|r| (r.attribute.clone(), r.sparsity))
+            .collect();
+        let t7 = check_sparsity(&pmf_rows, 0.7);
+        assert!(t7.passed, "{}", t7.detail);
+    }
+}

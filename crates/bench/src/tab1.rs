@@ -1,0 +1,73 @@
+//! Tab. I — the five-category neuro-symbolic taxonomy, with each
+//! implemented workload in its place.
+
+use nsai_core::taxonomy::NsCategory;
+use nsai_workloads::all_workloads_small;
+use serde::Serialize;
+
+/// One taxonomy row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Tab1Row {
+    /// Category notation (Kautz).
+    pub category: String,
+    /// Category description.
+    pub description: String,
+    /// Implemented workloads in this category.
+    pub workloads: Vec<String>,
+}
+
+/// Generate the taxonomy table.
+pub fn generate() -> Vec<Tab1Row> {
+    let workloads = all_workloads_small();
+    NsCategory::ALL
+        .iter()
+        .map(|category| Tab1Row {
+            category: category.notation().to_owned(),
+            description: category.description().to_owned(),
+            workloads: workloads
+                .iter()
+                .filter(|w| w.category() == *category)
+                .map(|w| w.name().to_owned())
+                .collect(),
+        })
+        .collect()
+}
+
+/// Render the taxonomy as a text table.
+pub fn render(rows: &[Tab1Row]) -> String {
+    let mut out = String::from("== Tab. I: neuro-symbolic taxonomy ==\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<24} [{}]\n    {}\n",
+            r.category,
+            r.workloads.join(", "),
+            r.description
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_workload_is_placed_and_matches_tab_iii() {
+        let rows = generate();
+        assert_eq!(rows.len(), 5);
+        let placed: usize = rows.iter().map(|r| r.workloads.len()).sum();
+        assert_eq!(placed, 7);
+        let of = |cat: &str| {
+            rows.iter()
+                .find(|r| r.category == cat)
+                .map(|r| r.workloads.clone())
+                .unwrap_or_default()
+        };
+        assert_eq!(of("Neuro:Symbolic->Neuro"), vec!["lnn"]);
+        assert_eq!(of("Neuro_Symbolic"), vec!["ltn"]);
+        assert_eq!(of("Neuro|Symbolic"), vec!["nvsa", "vsait", "prae"]);
+        assert_eq!(of("Neuro[Symbolic]"), vec!["nlm", "zeroc"]);
+        // Symbolic[Neuro] has no representative among the paper's seven.
+        assert!(of("Symbolic[Neuro]").is_empty());
+    }
+}

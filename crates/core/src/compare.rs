@@ -1,0 +1,219 @@
+//! Report comparison — quantify a change (optimization, config sweep)
+//! between two characterization runs.
+//!
+//! The paper's recommendations are optimization hypotheses; evaluating any
+//! of them means diffing a baseline run against a modified run. This
+//! module computes per-phase and per-cell speedups and flags mix shifts.
+
+use crate::report::Report;
+use crate::taxonomy::{OpCategory, Phase};
+use serde::Serialize;
+
+/// The comparison of two reports (`baseline` vs `candidate`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ReportDiff {
+    /// Baseline workload name.
+    pub baseline: String,
+    /// Candidate workload name.
+    pub candidate: String,
+    /// End-to-end speedup: `baseline_time / candidate_time` (>1 is faster).
+    pub total_speedup: f64,
+    /// Per-phase speedups (neural, symbolic).
+    pub phase_speedup: [f64; 2],
+    /// Absolute change in the symbolic share, percentage points.
+    pub symbolic_share_delta_pp: f64,
+    /// Per-(phase, category) speedups in taxonomy order; `None` where the
+    /// baseline cell is empty.
+    pub cell_speedup: Vec<CellSpeedup>,
+    /// Change in peak transient memory: `candidate / baseline` (<1 is
+    /// smaller).
+    pub peak_memory_ratio: f64,
+}
+
+/// Speedup of one `(phase, category)` cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellSpeedup {
+    /// Phase of the cell.
+    pub phase: Phase,
+    /// Operator category of the cell.
+    pub category: OpCategory,
+    /// `baseline_time / candidate_time`, or `None` if the baseline cell
+    /// recorded no time.
+    pub speedup: Option<f64>,
+}
+
+fn ratio(baseline_s: f64, candidate_s: f64) -> f64 {
+    if candidate_s <= 0.0 {
+        if baseline_s <= 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        baseline_s / candidate_s
+    }
+}
+
+/// Compare two reports.
+pub fn diff(baseline: &Report, candidate: &Report) -> ReportDiff {
+    let total_speedup = ratio(
+        baseline.total_duration().as_secs_f64(),
+        candidate.total_duration().as_secs_f64(),
+    );
+    let phase_speedup = [
+        ratio(
+            baseline.phase_duration(Phase::Neural).as_secs_f64(),
+            candidate.phase_duration(Phase::Neural).as_secs_f64(),
+        ),
+        ratio(
+            baseline.phase_duration(Phase::Symbolic).as_secs_f64(),
+            candidate.phase_duration(Phase::Symbolic).as_secs_f64(),
+        ),
+    ];
+    let mut cell_speedup = Vec::new();
+    for phase in Phase::ALL {
+        for category in OpCategory::ALL {
+            let base = baseline.cell(phase, category).duration.as_secs_f64();
+            let cand = candidate.cell(phase, category).duration.as_secs_f64();
+            cell_speedup.push(CellSpeedup {
+                phase,
+                category,
+                speedup: if base > 0.0 {
+                    Some(ratio(base, cand))
+                } else {
+                    None
+                },
+            });
+        }
+    }
+    let base_peak = baseline.memory().high_water_bytes().max(1) as f64;
+    let cand_peak = candidate.memory().high_water_bytes() as f64;
+    ReportDiff {
+        baseline: baseline.workload().to_owned(),
+        candidate: candidate.workload().to_owned(),
+        total_speedup,
+        phase_speedup,
+        symbolic_share_delta_pp: (candidate.phase_fraction(Phase::Symbolic)
+            - baseline.phase_fraction(Phase::Symbolic))
+            * 100.0,
+        cell_speedup,
+        peak_memory_ratio: cand_peak / base_peak,
+    }
+}
+
+/// Render the diff as a short text summary.
+pub fn render(d: &ReportDiff) -> String {
+    let mut out = format!(
+        "== {} -> {} ==\n  total speedup {:.2}x (neural {:.2}x, symbolic {:.2}x)\n  \
+         symbolic share {:+.1}pp, peak memory {:.2}x\n",
+        d.baseline,
+        d.candidate,
+        d.total_speedup,
+        d.phase_speedup[0],
+        d.phase_speedup[1],
+        d.symbolic_share_delta_pp,
+        d.peak_memory_ratio
+    );
+    for cell in &d.cell_speedup {
+        if let Some(s) = cell.speedup {
+            if !(0.8..=1.25).contains(&s) {
+                out.push_str(&format!(
+                    "  {}/{}: {:.2}x\n",
+                    cell.phase,
+                    cell.category.label(),
+                    s
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::OpEvent;
+    use crate::memory::MemoryTracker;
+    use std::time::Duration;
+
+    fn report(name: &str, neural_us: u64, symbolic_us: u64, peak: u64) -> Report {
+        let events = vec![
+            OpEvent {
+                seq: 0,
+                name: "sgemm".into(),
+                category: OpCategory::MatMul,
+                phase: Phase::Neural,
+                duration: Duration::from_micros(neural_us),
+                flops: 0,
+                bytes_read: 0,
+                bytes_written: 0,
+                output_elems: 0,
+                output_nonzeros: 0,
+            },
+            OpEvent {
+                seq: 1,
+                name: "bind".into(),
+                category: OpCategory::VectorElementwise,
+                phase: Phase::Symbolic,
+                duration: Duration::from_micros(symbolic_us),
+                flops: 0,
+                bytes_read: 0,
+                bytes_written: 0,
+                output_elems: 0,
+                output_nonzeros: 0,
+            },
+        ];
+        let mut mem = MemoryTracker::new();
+        mem.alloc(peak, Phase::Symbolic);
+        Report::from_events(name.into(), &events, mem)
+    }
+
+    #[test]
+    fn speedups_and_share_delta() {
+        let base = report("base", 100, 900, 1000);
+        let cand = report("opt", 100, 300, 500);
+        let d = diff(&base, &cand);
+        assert!((d.total_speedup - 2.5).abs() < 1e-9);
+        assert!((d.phase_speedup[0] - 1.0).abs() < 1e-9);
+        assert!((d.phase_speedup[1] - 3.0).abs() < 1e-9);
+        // Symbolic share: 90% -> 75%.
+        assert!((d.symbolic_share_delta_pp + 15.0).abs() < 1e-6);
+        assert!((d.peak_memory_ratio - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_cells_yield_none_speedups() {
+        let base = report("base", 100, 100, 10);
+        let cand = report("cand", 100, 100, 10);
+        let d = diff(&base, &cand);
+        let conv = d
+            .cell_speedup
+            .iter()
+            .find(|c| c.category == OpCategory::Convolution && c.phase == Phase::Neural)
+            .unwrap();
+        assert!(conv.speedup.is_none());
+        let matmul = d
+            .cell_speedup
+            .iter()
+            .find(|c| c.category == OpCategory::MatMul && c.phase == Phase::Neural)
+            .unwrap();
+        assert_eq!(matmul.speedup, Some(1.0));
+    }
+
+    #[test]
+    fn zero_candidate_time_is_infinite_speedup() {
+        assert_eq!(ratio(1.0, 0.0), f64::INFINITY);
+        assert_eq!(ratio(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn render_flags_notable_cells() {
+        let base = report("base", 100, 900, 1000);
+        let cand = report("opt", 100, 300, 500);
+        let text = render(&diff(&base, &cand));
+        assert!(text.contains("total speedup 2.50x"));
+        assert!(text.contains("symbolic/vec/elem: 3.00x"));
+        // Unchanged neural matmul is not flagged.
+        assert!(!text.contains("neural/matmul"));
+    }
+}

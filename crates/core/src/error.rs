@@ -1,0 +1,58 @@
+//! Error type shared by the characterization framework.
+
+use std::fmt;
+
+/// Errors produced by the characterization framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A report was requested over an empty event stream where at least one
+    /// event is required.
+    EmptyTrace,
+    /// A takeaway check was given inputs that do not contain the workload or
+    /// phase it needs.
+    MissingPhase {
+        /// The workload whose report lacked the phase.
+        workload: String,
+        /// Human-readable phase name.
+        phase: &'static str,
+    },
+    /// A device parameter was invalid (zero/negative peak throughput or
+    /// bandwidth).
+    InvalidDevice(String),
+    /// Serialization of a report failed.
+    Serialize(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyTrace => write!(f, "profiler trace contains no events"),
+            CoreError::MissingPhase { workload, phase } => {
+                write!(f, "report for `{workload}` has no {phase} events")
+            }
+            CoreError::InvalidDevice(msg) => write!(f, "invalid device model: {msg}"),
+            CoreError::Serialize(msg) => write!(f, "failed to serialize report: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = CoreError::EmptyTrace;
+        let s = e.to_string();
+        assert!(s.starts_with(char::is_lowercase));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,145 @@
+//! Trace export to the Chrome trace-event format.
+//!
+//! Any recorded operator stream can be dumped as a JSON array loadable in
+//! `chrome://tracing` / [Perfetto](https://ui.perfetto.dev): each operator
+//! becomes a complete (`"ph": "X"`) event on a per-phase track, with its
+//! category, FLOPs, byte counts and sparsity attached as arguments — the
+//! visual counterpart of the paper's Fig. 4 timelines.
+
+use crate::event::OpEvent;
+use crate::taxonomy::Phase;
+use serde::Serialize;
+use std::time::Duration;
+
+/// One Chrome trace-event record.
+#[derive(Debug, Clone, Serialize)]
+struct ChromeEvent {
+    name: String,
+    cat: String,
+    ph: &'static str,
+    /// Timestamp in microseconds.
+    ts: f64,
+    /// Duration in microseconds.
+    dur: f64,
+    pid: u32,
+    /// Track id: one per phase.
+    tid: u32,
+    args: ChromeArgs,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct ChromeArgs {
+    flops: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+    output_elems: u64,
+    sparsity: f64,
+}
+
+fn track_of(phase: Phase) -> u32 {
+    match phase {
+        Phase::Neural => 1,
+        Phase::Symbolic => 2,
+    }
+}
+
+/// Convert an event stream to a Chrome trace-event JSON string.
+///
+/// Events are laid out back-to-back per their recording order (the
+/// profiler records completion times, not start timestamps, so the
+/// timeline is a faithful serialization of the measured durations).
+///
+/// # Errors
+///
+/// Returns [`crate::CoreError::Serialize`] if JSON encoding fails
+/// (practically unreachable).
+pub fn to_chrome_trace(events: &[OpEvent]) -> Result<String, crate::CoreError> {
+    let mut cursor = Duration::ZERO;
+    let mut records = Vec::with_capacity(events.len() + 2);
+    // Thread-name metadata so the tracks are labeled.
+    for phase in Phase::ALL {
+        records.push(serde_json::json!({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": track_of(phase),
+            "args": {"name": format!("{phase} phase")},
+        }));
+    }
+    for e in events {
+        let record = ChromeEvent {
+            name: e.name.clone(),
+            cat: e.category.label().to_owned(),
+            ph: "X",
+            ts: cursor.as_secs_f64() * 1e6,
+            dur: e.duration.as_secs_f64() * 1e6,
+            pid: 1,
+            tid: track_of(e.phase),
+            args: ChromeArgs {
+                flops: e.flops,
+                bytes_read: e.bytes_read,
+                bytes_written: e.bytes_written,
+                output_elems: e.output_elems,
+                sparsity: e.output_sparsity(),
+            },
+        };
+        records.push(
+            serde_json::to_value(&record)
+                .map_err(|err| crate::CoreError::Serialize(err.to_string()))?,
+        );
+        cursor += e.duration;
+    }
+    serde_json::to_string_pretty(&records)
+        .map_err(|err| crate::CoreError::Serialize(err.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::OpCategory;
+
+    fn ev(name: &str, phase: Phase, micros: u64) -> OpEvent {
+        OpEvent {
+            seq: 0,
+            name: name.into(),
+            category: OpCategory::MatMul,
+            phase,
+            duration: Duration::from_micros(micros),
+            flops: 100,
+            bytes_read: 400,
+            bytes_written: 40,
+            output_elems: 10,
+            output_nonzeros: 5,
+        }
+    }
+
+    #[test]
+    fn exports_valid_json_with_metadata_and_events() {
+        let events = vec![
+            ev("sgemm", Phase::Neural, 100),
+            ev("bind", Phase::Symbolic, 50),
+        ];
+        let json = to_chrome_trace(&events).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let arr = parsed.as_array().unwrap();
+        // 2 metadata + 2 events.
+        assert_eq!(arr.len(), 4);
+        let sgemm = &arr[2];
+        assert_eq!(sgemm["name"], "sgemm");
+        assert_eq!(sgemm["ph"], "X");
+        assert_eq!(sgemm["tid"], 1);
+        assert_eq!(sgemm["dur"], 100.0);
+        let bind = &arr[3];
+        assert_eq!(bind["tid"], 2);
+        // Events lay out back to back.
+        assert_eq!(bind["ts"], 100.0);
+        assert_eq!(bind["args"]["sparsity"], 0.5);
+    }
+
+    #[test]
+    fn empty_trace_exports_only_metadata() {
+        let json = to_chrome_trace(&[]).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.as_array().unwrap().len(), 2);
+    }
+}

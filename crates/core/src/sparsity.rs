@@ -1,0 +1,158 @@
+//! Sparsity statistics (Fig. 5, Takeaway 7).
+//!
+//! The paper measures the sparsity of NVSA's symbolic modules (PMF→VSA
+//! transform, probability computation, VSA→PMF transform) per reasoning-rule
+//! attribute and finds >95% unstructured sparsity with attribute-dependent
+//! variation. [`SparsityStats`] is the accumulator used for those
+//! measurements: it ingests slices (or pre-counted totals) and reports the
+//! zero fraction.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Accumulated sparsity statistics over one or more tensors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SparsityStats {
+    elems: u64,
+    nonzeros: u64,
+}
+
+impl SparsityStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build directly from totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nonzeros > elems`.
+    pub fn from_counts(elems: u64, nonzeros: u64) -> Self {
+        assert!(
+            nonzeros <= elems,
+            "nonzeros ({nonzeros}) cannot exceed element count ({elems})"
+        );
+        Self { elems, nonzeros }
+    }
+
+    /// Count the sparsity of an `f32` slice, treating exact zeros as zero.
+    pub fn of_slice(values: &[f32]) -> Self {
+        let nonzeros = values.iter().filter(|v| **v != 0.0).count() as u64;
+        Self {
+            elems: values.len() as u64,
+            nonzeros,
+        }
+    }
+
+    /// Count the sparsity of an `f32` slice with a magnitude threshold:
+    /// elements with `|v| <= eps` count as zero. Useful for probability
+    /// tensors where numerically-negligible mass is effectively zero.
+    pub fn of_slice_with_eps(values: &[f32], eps: f32) -> Self {
+        let nonzeros = values.iter().filter(|v| v.abs() > eps).count() as u64;
+        Self {
+            elems: values.len() as u64,
+            nonzeros,
+        }
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: SparsityStats) {
+        self.elems += other.elems;
+        self.nonzeros += other.nonzeros;
+    }
+
+    /// Total elements observed.
+    pub fn elems(&self) -> u64 {
+        self.elems
+    }
+
+    /// Non-zero elements observed.
+    pub fn nonzeros(&self) -> u64 {
+        self.nonzeros
+    }
+
+    /// Zero fraction in `[0, 1]`; 0.0 for an empty accumulator.
+    pub fn sparsity(&self) -> f64 {
+        if self.elems == 0 {
+            0.0
+        } else {
+            1.0 - self.nonzeros as f64 / self.elems as f64
+        }
+    }
+
+    /// Density (`1 - sparsity`); 1.0 for an empty accumulator.
+    pub fn density(&self) -> f64 {
+        1.0 - self.sparsity()
+    }
+}
+
+impl fmt::Display for SparsityStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2}% sparse ({}/{} nonzero)",
+            self.sparsity() * 100.0,
+            self.nonzeros,
+            self.elems
+        )
+    }
+}
+
+impl std::iter::Sum for SparsityStats {
+    fn sum<I: Iterator<Item = SparsityStats>>(iter: I) -> Self {
+        let mut acc = SparsityStats::new();
+        for s in iter {
+            acc.merge(s);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_slice_counts_exact_zeros() {
+        let s = SparsityStats::of_slice(&[0.0, 1.0, 0.0, 0.0]);
+        assert_eq!(s.elems(), 4);
+        assert_eq!(s.nonzeros(), 1);
+        assert!((s.sparsity() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eps_threshold_zeroes_small_values() {
+        let s = SparsityStats::of_slice_with_eps(&[1e-9, 0.5, -1e-9, 0.2], 1e-6);
+        assert_eq!(s.nonzeros(), 2);
+    }
+
+    #[test]
+    fn merge_and_sum_accumulate() {
+        let a = SparsityStats::from_counts(10, 1);
+        let b = SparsityStats::from_counts(10, 3);
+        let total: SparsityStats = [a, b].into_iter().sum();
+        assert_eq!(total.elems(), 20);
+        assert_eq!(total.nonzeros(), 4);
+        assert!((total.sparsity() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_accumulator_is_dense_by_convention() {
+        let s = SparsityStats::new();
+        assert_eq!(s.sparsity(), 0.0);
+        assert_eq!(s.density(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn from_counts_validates() {
+        let _ = SparsityStats::from_counts(1, 2);
+    }
+
+    #[test]
+    fn display_mentions_percentage() {
+        let s = SparsityStats::from_counts(100, 5);
+        assert!(s.to_string().contains("95.00%"));
+    }
+}

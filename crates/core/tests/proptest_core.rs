@@ -1,0 +1,112 @@
+//! Property-based tests of the characterization framework's invariants.
+
+use nsai_core::event::OpEvent;
+use nsai_core::memory::MemoryTracker;
+use nsai_core::roofline::DeviceRoofline;
+use nsai_core::taxonomy::{OpCategory, Phase};
+use nsai_core::{Report, SparsityStats};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn arbitrary_event() -> impl Strategy<Value = OpEvent> {
+    (
+        0u64..6,
+        0u64..2,
+        1u64..1_000_000,
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u64..10_000,
+    )
+        .prop_map(|(cat, phase, micros, flops, bytes, elems)| OpEvent {
+            seq: 0,
+            name: format!("op{cat}"),
+            category: OpCategory::ALL[cat as usize],
+            phase: Phase::ALL[phase as usize],
+            duration: Duration::from_micros(micros),
+            flops,
+            bytes_read: bytes,
+            bytes_written: bytes / 2,
+            output_elems: elems,
+            output_nonzeros: elems / 2,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn report_fractions_are_consistent(events in prop::collection::vec(arbitrary_event(), 1..40)) {
+        let report = Report::from_events("prop".into(), &events, MemoryTracker::new());
+        let neural = report.phase_fraction(Phase::Neural);
+        let symbolic = report.phase_fraction(Phase::Symbolic);
+        prop_assert!((neural + symbolic - 1.0).abs() < 1e-9);
+        for phase in Phase::ALL {
+            let mut total = 0.0;
+            for cat in OpCategory::ALL {
+                let f = report.category_fraction(phase, cat);
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&f));
+                total += f;
+            }
+            // Per-phase category fractions sum to 1 (or 0 for an empty phase).
+            prop_assert!(total < 1e-9 || (total - 1.0).abs() < 1e-6);
+        }
+        // Durations add up.
+        let sum: Duration = Phase::ALL.iter().map(|p| report.phase_duration(*p)).sum();
+        prop_assert_eq!(sum, report.total_duration());
+    }
+
+    #[test]
+    fn report_event_count_and_flops_conserved(events in prop::collection::vec(arbitrary_event(), 1..40)) {
+        let report = Report::from_events("prop".into(), &events, MemoryTracker::new());
+        prop_assert_eq!(report.event_count(), events.len() as u64);
+        let total_flops: u64 = events.iter().map(|e| e.flops).sum();
+        let report_flops: u64 = Phase::ALL.iter().map(|p| report.phase_flops(*p)).sum();
+        prop_assert_eq!(total_flops, report_flops);
+    }
+
+    #[test]
+    fn sparsity_merge_equals_concatenation(
+        a in prop::collection::vec(-1.0f32..1.0, 0..50),
+        b in prop::collection::vec(-1.0f32..1.0, 0..50),
+    ) {
+        let mut merged = SparsityStats::of_slice(&a);
+        merged.merge(SparsityStats::of_slice(&b));
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        let direct = SparsityStats::of_slice(&concat);
+        prop_assert_eq!(merged.elems(), direct.elems());
+        prop_assert_eq!(merged.nonzeros(), direct.nonzeros());
+    }
+
+    #[test]
+    fn roofline_classification_matches_attainable(
+        peak in 1.0f64..100_000.0,
+        bw in 1.0f64..10_000.0,
+        intensity in 0.001f64..100_000.0,
+    ) {
+        let d = DeviceRoofline::new(peak, bw).unwrap();
+        let attainable = d.attainable_gflops(intensity);
+        prop_assert!(attainable <= peak + 1e-9);
+        prop_assert!(attainable <= bw * intensity + 1e-9);
+        // Attainable equals one of the two roofs.
+        let on_mem_roof = (attainable - bw * intensity).abs() < 1e-6 * attainable.max(1.0);
+        let on_compute_roof = (attainable - peak).abs() < 1e-6 * attainable.max(1.0);
+        prop_assert!(on_mem_roof || on_compute_roof);
+        // Monotone in intensity.
+        prop_assert!(d.attainable_gflops(intensity * 2.0) >= attainable - 1e-9);
+    }
+
+    #[test]
+    fn memory_tracker_peak_bounds_live(ops in prop::collection::vec((0u64..10_000, prop::bool::ANY), 1..60)) {
+        let mut m = MemoryTracker::new();
+        for (bytes, is_alloc) in ops {
+            if is_alloc {
+                m.alloc(bytes, Phase::Neural);
+            } else {
+                m.dealloc(bytes);
+            }
+            prop_assert!(m.live_bytes() <= m.high_water_bytes());
+        }
+        prop_assert!(m.phase_high_water(Phase::Neural) <= m.high_water_bytes());
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests: structural invariants of the procedural dataset
+//! generators hold for arbitrary seeds.
+
+use nsai_data::family::{sorting_task, FamilyGraph};
+use nsai_data::images::{batch_roughness, Domain, DomainGenerator};
+use nsai_data::rpm::{RpmGenerator, Rule, ATTRIBUTE_CARDINALITIES};
+use nsai_data::tabular::BlobDataset;
+use proptest::prelude::*;
+
+fn rule_holds(rule: Rule, row: &[usize], card: usize) -> bool {
+    match rule {
+        Rule::Constant => row.windows(2).all(|w| w[0] == w[1]),
+        Rule::Progression(d) => row
+            .windows(2)
+            .all(|w| (w[0] as i32 + d).rem_euclid(card as i32) as usize == w[1]),
+        Rule::Arithmetic(add) => {
+            let (a, b, c) = (row[0] as i32, row[1] as i32, row[2] as i32);
+            if add {
+                a + b == c
+            } else {
+                a - b == c
+            }
+        }
+        Rule::DistributeThree => {
+            let mut sorted = row.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            sorted.len() == row.len()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rpm_rows_always_satisfy_their_rules(seed in 0u64..10_000, grid in 2usize..4) {
+        let problem = RpmGenerator::new(seed).generate(grid);
+        for (attr, rule) in problem.rules.iter().enumerate() {
+            for r in 0..grid {
+                let row: Vec<usize> = (0..grid)
+                    .map(|c| problem.matrix[r * grid + c].attributes()[attr])
+                    .collect();
+                prop_assert!(
+                    rule_holds(*rule, &row, ATTRIBUTE_CARDINALITIES[attr]),
+                    "seed {seed} grid {grid}: {rule:?} violated on attr {attr}: {row:?}"
+                );
+            }
+        }
+        // Exactly one candidate equals the solution, at `answer`.
+        let matches = problem
+            .candidates
+            .iter()
+            .filter(|c| **c == problem.solution())
+            .count();
+        prop_assert_eq!(matches, 1);
+        prop_assert_eq!(problem.candidates[problem.answer], problem.solution());
+    }
+
+    #[test]
+    fn composite_problems_stay_aligned(seed in 0u64..5_000, components in 1usize..4) {
+        let parts = RpmGenerator::new(seed).generate_composite(3, components);
+        prop_assert_eq!(parts.len(), components);
+        let target = parts[0].answer;
+        for p in &parts {
+            prop_assert_eq!(p.answer, target);
+            prop_assert_eq!(&p.candidates[p.answer], &p.solution());
+        }
+    }
+
+    #[test]
+    fn family_graphs_are_acyclic_forests(seed in 0u64..10_000, n in 2usize..30) {
+        let family = FamilyGraph::generate(n, seed);
+        // Parent edges always point forward — acyclic by construction.
+        for p in 0..n {
+            for c in 0..n {
+                if family.is_parent(p, c) {
+                    prop_assert!(p < c);
+                }
+            }
+        }
+        // Everyone but the root has at least one parent.
+        for c in 1..n {
+            prop_assert!((0..n).any(|p| family.is_parent(p, c)), "orphan {c}");
+        }
+    }
+
+    #[test]
+    fn sorting_tasks_are_strict_total_orders(seed in 0u64..10_000, n in 2usize..12) {
+        let task = sorting_task(n, seed);
+        let d = task.target_order.data();
+        for i in 0..n {
+            prop_assert_eq!(d[i * n + i], 0.0);
+            for j in 0..n {
+                if i != j {
+                    prop_assert_eq!(d[i * n + j] + d[j * n + i], 1.0);
+                }
+            }
+        }
+        // Transitivity: i<j and j<k imply i<k.
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    if d[i * n + j] == 1.0 && d[j * n + k] == 1.0 {
+                        prop_assert_eq!(d[i * n + k], 1.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn image_domains_keep_their_gap(seed in 0u64..2_000) {
+        let mut generator = DomainGenerator::new(16, seed);
+        let synth = generator.sample(Domain::Synthetic, 4);
+        let tex = generator.sample(Domain::Textured, 4);
+        prop_assert!(batch_roughness(&tex) > batch_roughness(&synth));
+        // Pixel range invariant.
+        prop_assert!(synth.data().iter().all(|v| (0.0..=1.0).contains(v)));
+        prop_assert!(tex.data().iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn blob_labels_partition_evenly(seed in 0u64..5_000, classes in 1usize..5, per in 1usize..10) {
+        let data = BlobDataset::generate(classes, per, 4, 0.4, seed);
+        prop_assert_eq!(data.len(), classes * per);
+        for c in 0..classes {
+            prop_assert_eq!(data.labels.iter().filter(|&&l| l == c).count(), per);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Logic substrate error type.
+
+use std::fmt;
+
+/// Errors produced by the logic substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicError {
+    /// A truth value or bound fell outside `[0, 1]`.
+    OutOfRange {
+        /// The offending value.
+        value: f64,
+        /// What the value was supposed to be.
+        what: &'static str,
+    },
+    /// Truth bounds with `lower > upper` — a contradiction was constructed
+    /// directly (inference instead *clamps* and flags contradictions).
+    InvalidBounds {
+        /// Lower bound supplied.
+        lower: f64,
+        /// Upper bound supplied.
+        upper: f64,
+    },
+    /// Backward chaining exceeded its depth limit without closing the goal.
+    DepthLimit {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// A rule was malformed (e.g. unbound head variable not appearing in
+    /// the body).
+    MalformedRule(String),
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::OutOfRange { value, what } => {
+                write!(f, "{what} must lie in [0, 1], got {value}")
+            }
+            LogicError::InvalidBounds { lower, upper } => {
+                write!(f, "invalid truth bounds: lower {lower} > upper {upper}")
+            }
+            LogicError::DepthLimit { limit } => {
+                write!(f, "backward chaining exceeded depth limit {limit}")
+            }
+            LogicError::MalformedRule(msg) => write!(f, "malformed rule: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = LogicError::OutOfRange {
+            value: 1.5,
+            what: "truth value",
+        };
+        assert!(e.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LogicError>();
+    }
+}

@@ -1,0 +1,400 @@
+//! Horn-clause knowledge bases with forward and backward chaining.
+//!
+//! This is the "logic rules" substrate of Tab. II (the ABL / NeurASP style
+//! operations). Rule application is instrumented as a symbolic `Other`
+//! operator so the database-query parallelism opportunity the paper notes
+//! ("posing parallelism optimization opportunities in their database
+//! queries") is visible in traces.
+
+use crate::error::LogicError;
+use crate::term::{Atom, Substitution, Term};
+use nsai_core::profile::{self, OpMeta};
+use nsai_core::taxonomy::OpCategory;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// A Horn rule `head :- body₁, ..., bodyₙ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Rule head (conclusion).
+    pub head: Atom,
+    /// Rule body (premises, conjunctive).
+    pub body: Vec<Atom>,
+}
+
+impl Rule {
+    /// Construct a rule.
+    pub fn new(head: Atom, body: Vec<Atom>) -> Rule {
+        Rule { head, body }
+    }
+
+    /// A fact is a rule with an empty body and ground head.
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty() && self.head.is_ground()
+    }
+
+    /// Validate that every variable in the head appears in the body
+    /// (range restriction), so forward chaining only derives ground atoms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::MalformedRule`] for unrestricted variables.
+    pub fn validate(&self) -> Result<(), LogicError> {
+        fn collect_vars(t: &Term, out: &mut BTreeSet<String>) {
+            match t {
+                Term::Var(v) => {
+                    out.insert(v.clone());
+                }
+                Term::Const(_) => {}
+                Term::Compound(_, args) => args.iter().for_each(|a| collect_vars(a, out)),
+            }
+        }
+        let mut head_vars = BTreeSet::new();
+        self.head
+            .args
+            .iter()
+            .for_each(|t| collect_vars(t, &mut head_vars));
+        let mut body_vars = BTreeSet::new();
+        for atom in &self.body {
+            atom.args
+                .iter()
+                .for_each(|t| collect_vars(t, &mut body_vars));
+        }
+        for v in &head_vars {
+            if !body_vars.contains(v) && !self.body.is_empty() {
+                return Err(LogicError::MalformedRule(format!(
+                    "head variable {v} does not occur in the body"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Rename every variable in a rule with a unique suffix (standardizing
+/// apart), so resolution steps cannot capture each other's bindings.
+fn rename_rule(rule: &Rule, tag: usize) -> Rule {
+    fn rename_term(t: &Term, tag: usize) -> Term {
+        match t {
+            Term::Var(v) => Term::Var(format!("{v}#{tag}")),
+            Term::Const(_) => t.clone(),
+            Term::Compound(f, args) => Term::Compound(
+                f.clone(),
+                args.iter().map(|a| rename_term(a, tag)).collect(),
+            ),
+        }
+    }
+    fn rename_atom(a: &Atom, tag: usize) -> Atom {
+        Atom {
+            predicate: a.predicate.clone(),
+            args: a.args.iter().map(|t| rename_term(t, tag)).collect(),
+        }
+    }
+    Rule {
+        head: rename_atom(&rule.head, tag),
+        body: rule.body.iter().map(|a| rename_atom(a, tag)).collect(),
+    }
+}
+
+/// A set of ground facts plus Horn rules.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KnowledgeBase {
+    facts: BTreeSet<Atom>,
+    rules: Vec<Rule>,
+}
+
+impl KnowledgeBase {
+    /// Empty knowledge base.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a ground fact. Non-ground atoms are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fact` contains variables; facts must be ground.
+    pub fn add_fact(&mut self, fact: Atom) {
+        assert!(fact.is_ground(), "facts must be ground: {fact}");
+        self.facts.insert(fact);
+    }
+
+    /// Add a rule.
+    pub fn add_rule(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// Current fact set.
+    pub fn facts(&self) -> &BTreeSet<Atom> {
+        &self.facts
+    }
+
+    /// Current rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Whether a ground atom is currently known.
+    pub fn holds(&self, atom: &Atom) -> bool {
+        self.facts.contains(atom)
+    }
+
+    /// Naive bottom-up forward chaining to a fixpoint (or `max_iterations`).
+    /// Returns the final fact set. Each iteration is recorded as one
+    /// symbolic `Other` operator event whose byte counts reflect the
+    /// database scan.
+    pub fn forward_chain(&self, max_iterations: usize) -> BTreeSet<Atom> {
+        let mut facts = self.facts.clone();
+        for _ in 0..max_iterations {
+            let start = Instant::now();
+            let mut new_facts: Vec<Atom> = Vec::new();
+            let mut unifications: u64 = 0;
+            for rule in &self.rules {
+                let mut bindings = vec![Substitution::new()];
+                for body_atom in &rule.body {
+                    let mut next = Vec::new();
+                    for binding in &bindings {
+                        let grounded = body_atom.apply(binding);
+                        for fact in &facts {
+                            unifications += 1;
+                            let mut candidate = binding.clone();
+                            if grounded.unify_with(fact, &mut candidate) {
+                                next.push(candidate);
+                            }
+                        }
+                    }
+                    bindings = next;
+                    if bindings.is_empty() {
+                        break;
+                    }
+                }
+                for binding in &bindings {
+                    let head = rule.head.apply(binding);
+                    if head.is_ground() && !facts.contains(&head) {
+                        new_facts.push(head);
+                    }
+                }
+            }
+            let derived = new_facts.len() as u64;
+            let duration = start.elapsed();
+            if profile::is_active() {
+                // Approximate one atom record as 24 bytes of index+symbol
+                // traffic per unification probe.
+                profile::record(
+                    "forward_chain_iter",
+                    OpCategory::Other,
+                    OpMeta::new()
+                        .flops(unifications)
+                        .bytes_read(unifications * 24)
+                        .bytes_written(derived * 24)
+                        .output_elems(facts.len() as u64 + derived)
+                        .output_nonzeros(facts.len() as u64 + derived),
+                    duration,
+                );
+            }
+            if new_facts.is_empty() {
+                break;
+            }
+            facts.extend(new_facts);
+        }
+        facts
+    }
+
+    /// Depth-limited backward chaining: can `goal` be proven?
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::DepthLimit`] when the proof search exceeds
+    /// `max_depth` without resolving.
+    pub fn backward_chain(&self, goal: &Atom, max_depth: usize) -> Result<bool, LogicError> {
+        let start = Instant::now();
+        let mut probes: u64 = 0;
+        let result = self.prove(goal, max_depth, &mut probes);
+        if profile::is_active() {
+            profile::record(
+                "backward_chain",
+                OpCategory::Other,
+                OpMeta::new()
+                    .flops(probes)
+                    .bytes_read(probes * 24)
+                    .bytes_written(24)
+                    .output_elems(1),
+                start.elapsed(),
+            );
+        }
+        result
+    }
+
+    fn prove(&self, goal: &Atom, depth: usize, probes: &mut u64) -> Result<bool, LogicError> {
+        let mut counter = 0usize;
+        self.prove_all(
+            std::slice::from_ref(goal),
+            &Substitution::new(),
+            depth,
+            probes,
+            &mut counter,
+        )
+    }
+
+    fn prove_all(
+        &self,
+        goals: &[Atom],
+        subst: &Substitution,
+        depth: usize,
+        probes: &mut u64,
+        rename_counter: &mut usize,
+    ) -> Result<bool, LogicError> {
+        let Some((first, rest)) = goals.split_first() else {
+            return Ok(true);
+        };
+        if depth == 0 {
+            return Err(LogicError::DepthLimit { limit: 0 });
+        }
+        let grounded = first.apply(subst);
+        // Try facts.
+        for fact in &self.facts {
+            *probes += 1;
+            let mut s = subst.clone();
+            if grounded.unify_with(fact, &mut s)
+                && self.prove_all(rest, &s, depth, probes, rename_counter)?
+            {
+                return Ok(true);
+            }
+        }
+        // Try rules, standardizing variables apart so recursive rules do
+        // not capture bindings from outer resolution steps.
+        for rule in &self.rules {
+            *probes += 1;
+            *rename_counter += 1;
+            let renamed = rename_rule(rule, *rename_counter);
+            let mut s = subst.clone();
+            if renamed.head.unify_with(&grounded, &mut s)
+                && self.prove_all(&renamed.body, &s, depth - 1, probes, rename_counter)?
+                && self.prove_all(rest, &s, depth, probes, rename_counter)?
+            {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn family_kb() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        kb.add_fact(Atom::prop2("parent", "alice", "bob"));
+        kb.add_fact(Atom::prop2("parent", "bob", "carol"));
+        kb.add_fact(Atom::prop2("parent", "carol", "dave"));
+        // ancestor(X,Y) :- parent(X,Y).
+        kb.add_rule(Rule::new(
+            Atom::new("ancestor", vec![Term::var("X"), Term::var("Y")]),
+            vec![Atom::new("parent", vec![Term::var("X"), Term::var("Y")])],
+        ));
+        // ancestor(X,Z) :- parent(X,Y), ancestor(Y,Z).
+        kb.add_rule(Rule::new(
+            Atom::new("ancestor", vec![Term::var("X"), Term::var("Z")]),
+            vec![
+                Atom::new("parent", vec![Term::var("X"), Term::var("Y")]),
+                Atom::new("ancestor", vec![Term::var("Y"), Term::var("Z")]),
+            ],
+        ));
+        kb
+    }
+
+    #[test]
+    fn forward_chain_computes_transitive_closure() {
+        let derived = family_kb().forward_chain(10);
+        assert!(derived.contains(&Atom::prop2("ancestor", "alice", "bob")));
+        assert!(derived.contains(&Atom::prop2("ancestor", "alice", "carol")));
+        assert!(derived.contains(&Atom::prop2("ancestor", "alice", "dave")));
+        assert!(derived.contains(&Atom::prop2("ancestor", "carol", "dave")));
+        assert!(!derived.contains(&Atom::prop2("ancestor", "dave", "alice")));
+        // 3 parent facts + 6 ancestor pairs.
+        assert_eq!(derived.len(), 9);
+    }
+
+    #[test]
+    fn forward_chain_reaches_fixpoint_early() {
+        // With generous iteration budget, result is stable.
+        let a = family_kb().forward_chain(3);
+        let b = family_kb().forward_chain(100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn forward_chain_iteration_limit_truncates() {
+        // One iteration can only derive direct ancestors.
+        let derived = family_kb().forward_chain(1);
+        assert!(derived.contains(&Atom::prop2("ancestor", "alice", "bob")));
+        assert!(!derived.contains(&Atom::prop2("ancestor", "alice", "dave")));
+    }
+
+    #[test]
+    fn backward_chain_proves_goals() {
+        let kb = family_kb();
+        assert!(kb
+            .backward_chain(&Atom::prop2("ancestor", "alice", "dave"), 10)
+            .unwrap());
+        assert!(!kb
+            .backward_chain(&Atom::prop2("ancestor", "dave", "alice"), 10)
+            .unwrap());
+    }
+
+    #[test]
+    fn backward_chain_with_variable_goal() {
+        let kb = family_kb();
+        // ∃X ancestor(alice, X)?
+        let goal = Atom::new("ancestor", vec![Term::constant("alice"), Term::var("X")]);
+        assert!(kb.backward_chain(&goal, 10).unwrap());
+    }
+
+    #[test]
+    fn backward_chain_depth_limit() {
+        let kb = family_kb();
+        let goal = Atom::prop2("ancestor", "alice", "dave");
+        assert!(kb.backward_chain(&goal, 1).is_err());
+    }
+
+    #[test]
+    fn rule_validation() {
+        let ok = Rule::new(
+            Atom::new("p", vec![Term::var("X")]),
+            vec![Atom::new("q", vec![Term::var("X")])],
+        );
+        assert!(ok.validate().is_ok());
+        let bad = Rule::new(
+            Atom::new("p", vec![Term::var("X")]),
+            vec![Atom::new("q", vec![Term::var("Y")])],
+        );
+        assert!(bad.validate().is_err());
+        // Facts (empty body) are exempt.
+        let fact = Rule::new(Atom::prop1("p", "a"), vec![]);
+        assert!(fact.validate().is_ok());
+        assert!(fact.is_fact());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ground")]
+    fn add_fact_rejects_variables() {
+        let mut kb = KnowledgeBase::new();
+        kb.add_fact(Atom::new("p", vec![Term::var("X")]));
+    }
+
+    #[test]
+    fn chaining_is_instrumented() {
+        use nsai_core::Profiler;
+        let p = Profiler::new();
+        {
+            let _a = p.activate();
+            let _ = family_kb().forward_chain(10);
+        }
+        let events = p.events();
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| e.name == "forward_chain_iter"));
+        assert!(events.iter().all(|e| e.category == OpCategory::Other));
+        assert!(events[0].flops > 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests of the fuzzy-logic and truth-bound laws.
+
+use nsai_logic::bounds::TruthBounds;
+use nsai_logic::fuzzy::{exists_pmean, forall_pmean_error, FuzzySemantics};
+use nsai_logic::term::{unify, Substitution, Term};
+use proptest::prelude::*;
+
+fn truth() -> impl Strategy<Value = f64> {
+    0.0f64..=1.0
+}
+
+const SEMANTICS: [FuzzySemantics; 3] = [
+    FuzzySemantics::Lukasiewicz,
+    FuzzySemantics::Godel,
+    FuzzySemantics::Product,
+];
+
+proptest! {
+    #[test]
+    fn t_norm_laws(a in truth(), b in truth(), c in truth()) {
+        for s in SEMANTICS {
+            // Commutativity.
+            prop_assert!((s.t_norm(a, b) - s.t_norm(b, a)).abs() < 1e-12);
+            // Associativity.
+            let left = s.t_norm(s.t_norm(a, b), c);
+            let right = s.t_norm(a, s.t_norm(b, c));
+            prop_assert!((left - right).abs() < 1e-12, "{s:?}");
+            // Identity and annihilator.
+            prop_assert!((s.t_norm(a, 1.0) - a).abs() < 1e-12);
+            prop_assert!(s.t_norm(a, 0.0).abs() < 1e-12);
+            // Monotonicity: b <= c implies T(a,b) <= T(a,c).
+            let (lo, hi) = if b <= c { (b, c) } else { (c, b) };
+            prop_assert!(s.t_norm(a, lo) <= s.t_norm(a, hi) + 1e-12);
+            // Range.
+            prop_assert!((0.0..=1.0).contains(&s.t_norm(a, b)));
+        }
+    }
+
+    #[test]
+    fn de_morgan_holds(a in truth(), b in truth()) {
+        for s in SEMANTICS {
+            let lhs = s.t_conorm(a, b);
+            let rhs = 1.0 - s.t_norm(1.0 - a, 1.0 - b);
+            prop_assert!((lhs - rhs).abs() < 1e-12, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn residuation_inequality(a in truth(), b in truth()) {
+        // T(a, I(a, b)) <= b for residuated implications.
+        for s in SEMANTICS {
+            let r = s.implies(a, b);
+            prop_assert!(s.t_norm(a, r) <= b + 1e-9, "{s:?} a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn quantifier_aggregators_bounded(values in prop::collection::vec(truth(), 1..20), p in 1.0f64..8.0) {
+        let fa = forall_pmean_error(&values, p).unwrap();
+        let ex = exists_pmean(&values, p).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&fa));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ex));
+        // ∀ is at most the weakest instance; ∃ at least... the p-mean of
+        // values is between min and max.
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(fa >= min - 1e-9, "forall {fa} < min {min}");
+        prop_assert!(ex <= max + 1e-9, "exists {ex} > max {max}");
+    }
+
+    #[test]
+    fn bounds_upward_ops_stay_valid(l1 in truth(), u1 in truth(), l2 in truth(), u2 in truth()) {
+        let a = TruthBounds::new(l1.min(u1), l1.max(u1)).unwrap();
+        let b = TruthBounds::new(l2.min(u2), l2.max(u2)).unwrap();
+        for r in [a.and_up(&b), a.or_up(&b), a.implies_up(&b), a.negate()] {
+            prop_assert!(r.lower() <= r.upper() + 1e-12, "{a} {b} -> {r}");
+            prop_assert!((0.0..=1.0).contains(&r.lower()));
+            prop_assert!((0.0..=1.0).contains(&r.upper()));
+        }
+    }
+
+    #[test]
+    fn bounds_tighten_never_widens(l1 in truth(), u1 in truth(), l2 in truth(), u2 in truth()) {
+        let a = TruthBounds::new(l1.min(u1), l1.max(u1)).unwrap();
+        let b = TruthBounds::new(l2.min(u2), l2.max(u2)).unwrap();
+        let (t, _) = a.tighten(&b);
+        prop_assert!(t.uncertainty() <= a.uncertainty() + 1e-12);
+        prop_assert!(t.uncertainty() <= b.uncertainty() + 1e-12);
+    }
+
+    #[test]
+    fn point_bounds_match_lukasiewicz_scalars(a in truth(), b in truth()) {
+        let s = FuzzySemantics::Lukasiewicz;
+        let ba = TruthBounds::exactly(a).unwrap();
+        let bb = TruthBounds::exactly(b).unwrap();
+        let and = ba.and_up(&bb);
+        prop_assert!((and.lower() - s.t_norm(a, b)).abs() < 1e-12);
+        let or = ba.or_up(&bb);
+        prop_assert!((or.lower() - s.t_conorm(a, b)).abs() < 1e-12);
+        let imp = ba.implies_up(&bb);
+        prop_assert!((imp.lower() - s.implies(a, b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unification_produces_equalizer(name in "[A-Z]", value in "[a-z]{1,6}") {
+        let var = Term::var(name.clone());
+        let constant = Term::constant(value);
+        let mut subst = Substitution::new();
+        prop_assert!(unify(&var, &constant, &mut subst));
+        prop_assert_eq!(var.apply(&subst), constant.apply(&subst));
+    }
+
+    #[test]
+    fn unification_of_compounds_equalizes(f in "[a-z]{1,4}", c1 in "[a-z]{1,4}", c2 in "[a-z]{1,4}") {
+        let t1 = Term::Compound(f.clone(), vec![Term::var("X"), Term::constant(c1)]);
+        let t2 = Term::Compound(f, vec![Term::constant(c2), Term::var("Y")]);
+        let mut subst = Substitution::new();
+        prop_assert!(unify(&t1, &t2, &mut subst));
+        prop_assert_eq!(t1.apply(&subst), t2.apply(&subst));
+    }
+}

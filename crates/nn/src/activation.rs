@@ -1,0 +1,129 @@
+//! Activation layers (ReLU, Sigmoid, Tanh).
+
+use crate::layer::Layer;
+use nsai_tensor::Tensor;
+
+/// The supported activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivationKind {
+    /// `max(0, x)`.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+/// An element-wise activation layer.
+#[derive(Debug)]
+pub struct Activation {
+    kind: ActivationKind,
+    cached_output: Option<Tensor>,
+    cached_input: Option<Tensor>,
+}
+
+impl Activation {
+    /// Create an activation layer of the given kind.
+    pub fn new(kind: ActivationKind) -> Self {
+        Activation {
+            kind,
+            cached_output: None,
+            cached_input: None,
+        }
+    }
+
+    /// Which activation this layer applies.
+    pub fn kind(&self) -> ActivationKind {
+        self.kind
+    }
+}
+
+impl Layer for Activation {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let out = match self.kind {
+            ActivationKind::Relu => input.relu(),
+            ActivationKind::Sigmoid => input.sigmoid(),
+            ActivationKind::Tanh => input.tanh(),
+        };
+        self.cached_input = Some(input.clone());
+        self.cached_output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        match self.kind {
+            ActivationKind::Relu => {
+                let input = self.cached_input.as_ref().expect("forward first");
+                let mask = input.unary_op("relu_mask", |v| if v > 0.0 { 1.0 } else { 0.0 });
+                grad_output.mul(&mask).expect("same shape")
+            }
+            ActivationKind::Sigmoid => {
+                let y = self.cached_output.as_ref().expect("forward first");
+                // y' = y (1 - y)
+                let dy = y.mul(&y.neg().add_scalar(1.0)).expect("same shape");
+                grad_output.mul(&dy).expect("same shape")
+            }
+            ActivationKind::Tanh => {
+                let y = self.cached_output.as_ref().expect("forward first");
+                // y' = 1 - y²
+                let dy = y.powi(2).neg().add_scalar(1.0);
+                grad_output.mul(&dy).expect("same shape")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff(kind: ActivationKind, x0: f32) -> f32 {
+        let eps = 1e-3f32;
+        let f = |x: f32| {
+            let t = Tensor::from_vec(vec![x], &[1, 1]).unwrap();
+            let mut a = Activation::new(kind);
+            a.forward(&t).data()[0]
+        };
+        (f(x0 + eps) - f(x0 - eps)) / (2.0 * eps)
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        for kind in [
+            ActivationKind::Relu,
+            ActivationKind::Sigmoid,
+            ActivationKind::Tanh,
+        ] {
+            for &x0 in &[-1.2f32, -0.3, 0.4, 1.7] {
+                if kind == ActivationKind::Relu && x0.abs() < 1e-2 {
+                    continue; // kink
+                }
+                let t = Tensor::from_vec(vec![x0], &[1, 1]).unwrap();
+                let mut a = Activation::new(kind);
+                let _ = a.forward(&t);
+                let g = a.backward(&Tensor::ones(&[1, 1]));
+                let numeric = finite_diff(kind, x0);
+                assert!(
+                    (g.data()[0] - numeric).abs() < 1e-2,
+                    "{kind:?} at {x0}: analytic {} vs numeric {numeric}",
+                    g.data()[0]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_zeroes_negative_gradient() {
+        let x = Tensor::from_vec(vec![-1.0, 2.0], &[1, 2]).unwrap();
+        let mut a = Activation::new(ActivationKind::Relu);
+        a.forward(&x);
+        let g = a.backward(&Tensor::ones(&[1, 2]));
+        assert_eq!(g.data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn activation_has_no_params() {
+        let mut a = Activation::new(ActivationKind::Tanh);
+        assert_eq!(a.param_count(), 0);
+    }
+}

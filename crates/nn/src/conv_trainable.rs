@@ -1,0 +1,311 @@
+//! Trainable 2-D convolution with a full backward pass.
+//!
+//! [`crate::conv_layer::ConvBlock`] covers the characterization workloads
+//! (frozen perception features); this layer completes the library for
+//! end-to-end convolutional training: gradients w.r.t. weights, bias,
+//! *and* input, validated against finite differences in the tests.
+
+use crate::layer::Layer;
+use nsai_core::profile;
+use nsai_tensor::ops::conv::Conv2dParams;
+use nsai_tensor::Tensor;
+
+/// A trainable convolution layer (NCHW).
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Tensor, // [c_out, c_in, k, k]
+    bias: Tensor,   // [c_out]
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    params: Conv2dParams,
+    cached_input: Option<Tensor>,
+    c_in: usize,
+    c_out: usize,
+    kernel: usize,
+}
+
+impl Conv2d {
+    /// Create with He-style initialization from a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(c_in: usize, c_out: usize, kernel: usize, params: Conv2dParams, seed: u64) -> Self {
+        assert!(
+            c_in > 0 && c_out > 0 && kernel > 0,
+            "dimensions must be positive"
+        );
+        let std = (2.0 / (c_in * kernel * kernel) as f32).sqrt();
+        let weight = Tensor::rand_normal(&[c_out, c_in, kernel, kernel], std, seed);
+        profile::register_storage(
+            "conv2d.weights",
+            ((c_out * c_in * kernel * kernel + c_out) * 4) as u64,
+        );
+        Conv2d {
+            weight,
+            bias: Tensor::zeros(&[c_out]),
+            grad_weight: Tensor::zeros(&[c_out, c_in, kernel, kernel]),
+            grad_bias: Tensor::zeros(&[c_out]),
+            params,
+            cached_input: None,
+            c_in,
+            c_out,
+            kernel,
+        }
+    }
+
+    /// The convolution hyperparameters.
+    pub fn conv_params(&self) -> Conv2dParams {
+        self.params
+    }
+
+    /// Read-only weight access.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.rank(), 4, "Conv2d expects NCHW input");
+        assert_eq!(input.dims()[1], self.c_in, "channel mismatch");
+        self.cached_input = Some(input.clone());
+        input
+            .conv2d(&self.weight, Some(&self.bias), self.params)
+            .expect("validated shapes")
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        let (n, c_in, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        let (c_out, k) = (self.c_out, self.kernel);
+        let (oh, ow) = (grad_output.dims()[2], grad_output.dims()[3]);
+        let stride = self.params.stride;
+        let pad = self.params.padding as isize;
+
+        // dB[co] = Σ_{n,oy,ox} grad[n,co,oy,ox]
+        for co in 0..c_out {
+            let mut acc = 0.0f32;
+            for b in 0..n {
+                let base = (b * c_out + co) * oh * ow;
+                acc += grad_output.data()[base..base + oh * ow].iter().sum::<f32>();
+            }
+            self.grad_bias.data_mut()[co] += acc;
+        }
+
+        // dW[co,ci,ky,kx] = Σ grad[n,co,oy,ox] · x[n,ci,oy·s+ky−p,ox·s+kx−p]
+        for co in 0..c_out {
+            for ci in 0..c_in {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let mut acc = 0.0f32;
+                        for b in 0..n {
+                            for oy in 0..oh {
+                                let iy = (oy * stride + ky) as isize - pad;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for ox in 0..ow {
+                                    let ix = (ox * stride + kx) as isize - pad;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    acc += grad_output.data()
+                                        [((b * c_out + co) * oh + oy) * ow + ox]
+                                        * input.data()
+                                            [((b * c_in + ci) * h + iy as usize) * w + ix as usize];
+                                }
+                            }
+                        }
+                        self.grad_weight.data_mut()[((co * c_in + ci) * k + ky) * k + kx] += acc;
+                    }
+                }
+            }
+        }
+
+        // dX[n,ci,iy,ix] = Σ_{co,ky,kx} grad[n,co,oy,ox] · W[co,ci,ky,kx]
+        // where oy = (iy + p − ky)/s exactly.
+        let mut grad_input = Tensor::zeros(&[n, c_in, h, w]);
+        for b in 0..n {
+            for ci in 0..c_in {
+                for iy in 0..h {
+                    for ix in 0..w {
+                        let mut acc = 0.0f32;
+                        for co in 0..c_out {
+                            for ky in 0..k {
+                                let oy_num = iy as isize + pad - ky as isize;
+                                if oy_num < 0 || oy_num % stride as isize != 0 {
+                                    continue;
+                                }
+                                let oy = (oy_num / stride as isize) as usize;
+                                if oy >= oh {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ox_num = ix as isize + pad - kx as isize;
+                                    if ox_num < 0 || ox_num % stride as isize != 0 {
+                                        continue;
+                                    }
+                                    let ox = (ox_num / stride as isize) as usize;
+                                    if ox >= ow {
+                                        continue;
+                                    }
+                                    acc += grad_output.data()
+                                        [((b * c_out + co) * oh + oy) * ow + ox]
+                                        * self.weight.data()[((co * c_in + ci) * k + ky) * k + kx];
+                                }
+                            }
+                        }
+                        grad_input.data_mut()[((b * c_in + ci) * h + iy) * w + ix] = acc;
+                    }
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.weight, &mut self.grad_weight);
+        f(&mut self.bias, &mut self.grad_bias);
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_weight = Tensor::zeros(&[self.c_out, self.c_in, self.kernel, self.kernel]);
+        self.grad_bias = Tensor::zeros(&[self.c_out]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss;
+    use crate::optim::Adam;
+
+    fn scalar_loss(conv: &mut Conv2d, x: &Tensor) -> f32 {
+        conv.forward(x).sum()
+    }
+
+    #[test]
+    fn weight_gradients_match_finite_differences() {
+        let params = Conv2dParams {
+            stride: 1,
+            padding: 1,
+        };
+        let x = Tensor::rand_uniform(&[1, 2, 4, 4], -1.0, 1.0, 5);
+        let mut conv = Conv2d::new(2, 3, 3, params, 6);
+        let _ = conv.forward(&x);
+        let ones = Tensor::ones(&[1, 3, 4, 4]);
+        conv.backward(&ones);
+        let mut analytic = Vec::new();
+        conv.visit_params(&mut |_, g| analytic.push(g.data().to_vec()));
+
+        let eps = 1e-3f32;
+        for widx in [0usize, 7, 20] {
+            let base = {
+                let mut c = Conv2d::new(2, 3, 3, params, 6);
+                scalar_loss(&mut c, &x)
+            };
+            let perturbed = {
+                let mut c = Conv2d::new(2, 3, 3, params, 6);
+                c.visit_params(&mut |p, _| {
+                    if p.rank() == 4 {
+                        p.data_mut()[widx] += eps;
+                    }
+                });
+                scalar_loss(&mut c, &x)
+            };
+            let numeric = (perturbed - base) / eps;
+            assert!(
+                (analytic[0][widx] - numeric).abs() < 2e-2,
+                "weight {widx}: analytic {} vs numeric {numeric}",
+                analytic[0][widx]
+            );
+        }
+        // Bias gradient for sum-loss is the output spatial size.
+        assert!((analytic[1][0] - 16.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn input_gradients_match_finite_differences() {
+        let params = Conv2dParams {
+            stride: 2,
+            padding: 1,
+        };
+        let x = Tensor::rand_uniform(&[1, 1, 5, 5], -1.0, 1.0, 7);
+        let mut conv = Conv2d::new(1, 2, 3, params, 8);
+        let out = conv.forward(&x);
+        let grad_in = conv.backward(&Tensor::ones(out.dims()));
+
+        let eps = 1e-3f32;
+        for idx in [0usize, 7, 12, 24] {
+            let loss = |xs: &Tensor| {
+                let mut c = Conv2d::new(1, 2, 3, params, 8);
+                c.forward(xs).sum()
+            };
+            let mut plus = x.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = x.clone();
+            minus.data_mut()[idx] -= eps;
+            let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+            assert!(
+                (grad_in.data()[idx] - numeric).abs() < 2e-2,
+                "input {idx}: analytic {} vs numeric {numeric}",
+                grad_in.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn trains_an_edge_detector() {
+        // Learn to reproduce a fixed target kernel's response.
+        let params = Conv2dParams {
+            stride: 1,
+            padding: 0,
+        };
+        let target_kernel = Tensor::from_vec(
+            vec![1.0, 0.0, -1.0, 2.0, 0.0, -2.0, 1.0, 0.0, -1.0],
+            &[1, 1, 3, 3],
+        )
+        .unwrap();
+        let x = Tensor::rand_uniform(&[4, 1, 8, 8], -1.0, 1.0, 9);
+        let target = x.conv2d(&target_kernel, None, params).unwrap();
+        let mut conv = Conv2d::new(1, 1, 3, params, 10);
+        let mut opt = Adam::new(0.05);
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..60 {
+            let pred = conv.forward(&x);
+            let (l, grad) = loss::mse(&pred, &target).unwrap();
+            if first_loss.is_none() {
+                first_loss = Some(l);
+            }
+            last_loss = l;
+            conv.backward(&grad);
+            opt.step(&mut conv);
+            conv.zero_grad();
+        }
+        assert!(
+            last_loss < first_loss.unwrap() * 0.1,
+            "loss {first_loss:?} -> {last_loss}"
+        );
+    }
+
+    #[test]
+    fn param_count_and_zero_grad() {
+        let mut conv = Conv2d::new(2, 4, 3, Conv2dParams::default(), 1);
+        assert_eq!(conv.param_count(), 4 * 2 * 9 + 4);
+        let x = Tensor::ones(&[1, 2, 4, 4]);
+        let out = conv.forward(&x);
+        conv.backward(&Tensor::ones(out.dims()));
+        conv.zero_grad();
+        conv.visit_params(&mut |_, g| assert!(g.data().iter().all(|v| *v == 0.0)));
+    }
+}

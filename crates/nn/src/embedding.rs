@@ -1,0 +1,147 @@
+//! Embedding (lookup-table) layer with scatter-add backward.
+
+use crate::layer::Layer;
+use nsai_core::profile;
+use nsai_tensor::Tensor;
+
+/// A trainable symbol → vector lookup table.
+///
+/// `forward` is driven by [`Embedding::lookup`] (index-based) rather than
+/// the tensor-based [`Layer::forward`], which expects one-hot rows.
+#[derive(Debug)]
+pub struct Embedding {
+    table: Tensor, // [vocab, dim]
+    grad_table: Tensor,
+    cached_indices: Vec<usize>,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Create a table of `vocab` embeddings of size `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(vocab: usize, dim: usize, seed: u64) -> Self {
+        assert!(vocab > 0 && dim > 0, "dimensions must be positive");
+        let table = Tensor::rand_normal(&[vocab, dim], 0.1, seed);
+        profile::register_storage("embedding.table", (vocab * dim * 4) as u64);
+        Embedding {
+            table,
+            grad_table: Tensor::zeros(&[vocab, dim]),
+            cached_indices: Vec::new(),
+            vocab,
+            dim,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Gather the embeddings for `indices` into `[n, dim]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of vocabulary range.
+    pub fn lookup(&mut self, indices: &[usize]) -> Tensor {
+        assert!(
+            indices.iter().all(|&i| i < self.vocab),
+            "embedding index out of range"
+        );
+        self.cached_indices = indices.to_vec();
+        self.table.gather_rows(indices).expect("validated indices")
+    }
+}
+
+impl Layer for Embedding {
+    /// One-hot forward: rows of `input` must be one-hot over the
+    /// vocabulary; equivalent to `lookup` of the hot indices.
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.rank(), 2, "Embedding expects [n, vocab] one-hot");
+        assert_eq!(input.dims()[1], self.vocab, "vocab mismatch");
+        let indices: Vec<usize> = (0..input.dims()[0])
+            .map(|r| {
+                input.data()[r * self.vocab..(r + 1) * self.vocab]
+                    .iter()
+                    .position(|v| *v != 0.0)
+                    .expect("row must be one-hot")
+            })
+            .collect();
+        self.lookup(&indices)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert_eq!(
+            grad_output.dims(),
+            &[self.cached_indices.len(), self.dim],
+            "gradient shape mismatch"
+        );
+        for (row, &idx) in self.cached_indices.iter().enumerate() {
+            for c in 0..self.dim {
+                self.grad_table.data_mut()[idx * self.dim + c] +=
+                    grad_output.data()[row * self.dim + c];
+            }
+        }
+        // No meaningful upstream gradient for index inputs.
+        Tensor::zeros(&[self.cached_indices.len(), self.vocab])
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.table, &mut self.grad_table);
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_table = Tensor::zeros(&[self.vocab, self.dim]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_gathers_rows() {
+        let mut e = Embedding::new(5, 3, 1);
+        let out = e.lookup(&[2, 2, 0]);
+        assert_eq!(out.dims(), &[3, 3]);
+        assert_eq!(&out.data()[..3], &out.data()[3..6]);
+    }
+
+    #[test]
+    fn one_hot_forward_matches_lookup() {
+        let mut e = Embedding::new(4, 2, 2);
+        let via_lookup = e.lookup(&[3]);
+        let one_hot = Tensor::one_hot(3, 4).unwrap().reshape(&[1, 4]).unwrap();
+        let via_forward = e.forward(&one_hot);
+        assert_eq!(via_lookup.data(), via_forward.data());
+    }
+
+    #[test]
+    fn backward_scatter_adds_duplicates() {
+        let mut e = Embedding::new(3, 2, 3);
+        e.lookup(&[1, 1]);
+        let g = Tensor::ones(&[2, 2]);
+        e.backward(&g);
+        let mut grads = Vec::new();
+        e.visit_params(&mut |_, grad| grads.push(grad.data().to_vec()));
+        // Row 1 accumulated twice; rows 0 and 2 untouched.
+        assert_eq!(&grads[0][2..4], &[2.0, 2.0]);
+        assert_eq!(&grads[0][..2], &[0.0, 0.0]);
+        assert_eq!(&grads[0][4..], &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn lookup_validates_indices() {
+        let mut e = Embedding::new(2, 2, 4);
+        let _ = e.lookup(&[2]);
+    }
+}

@@ -1,0 +1,38 @@
+//! The layer trait shared by all network components.
+
+use nsai_tensor::Tensor;
+
+/// A differentiable network layer.
+///
+/// `forward` consumes a batch and caches whatever the backward pass needs;
+/// `backward` consumes the gradient w.r.t. the layer's output and returns
+/// the gradient w.r.t. its input, accumulating parameter gradients
+/// internally.
+pub trait Layer: std::fmt::Debug {
+    /// Forward pass over a batch.
+    fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Backward pass; returns the gradient w.r.t. the input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before `forward`.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Visit each `(parameter, gradient)` pair in a stable order.
+    /// Parameter-free layers do nothing.
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+
+    /// Reset accumulated gradients to zero.
+    fn zero_grad(&mut self) {}
+
+    /// Number of trainable scalar parameters.
+    ///
+    /// Takes `&mut self` because it is implemented via
+    /// [`Layer::visit_params`].
+    fn param_count(&mut self) -> usize {
+        let mut count = 0;
+        self.visit_params(&mut |p, _| count += p.numel());
+        count
+    }
+}

@@ -1,0 +1,170 @@
+//! Loss functions returning `(loss, gradient)` pairs.
+
+use nsai_tensor::{Tensor, TensorError};
+
+/// Mean squared error over all elements; gradient is w.r.t. `pred`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+pub fn mse(pred: &Tensor, target: &Tensor) -> Result<(f32, Tensor), TensorError> {
+    if pred.shape() != target.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "mse",
+            lhs: pred.dims().to_vec(),
+            rhs: target.dims().to_vec(),
+        });
+    }
+    let diff = pred.sub(target)?;
+    let n = pred.numel() as f32;
+    let loss = diff.powi(2).mean();
+    let grad = diff.mul_scalar(2.0 / n);
+    Ok((loss, grad))
+}
+
+/// Binary cross-entropy over probabilities in `(0, 1)`; gradient w.r.t.
+/// `pred`. Probabilities are clamped away from {0, 1} for stability.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+pub fn bce(pred: &Tensor, target: &Tensor) -> Result<(f32, Tensor), TensorError> {
+    if pred.shape() != target.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "bce",
+            lhs: pred.dims().to_vec(),
+            rhs: target.dims().to_vec(),
+        });
+    }
+    let eps = 1e-6f32;
+    let p = pred.clamp(eps, 1.0 - eps);
+    let n = pred.numel() as f32;
+    let loss = -(target.mul(&p.ln())?.add(
+        &target
+            .neg()
+            .add_scalar(1.0)
+            .mul(&p.neg().add_scalar(1.0).ln())?,
+    )?)
+    .mean();
+    // dL/dp = (p - t) / (p (1 - p)) / n
+    let denom = p.mul(&p.neg().add_scalar(1.0))?;
+    let grad = p.sub(target)?.div(&denom)?.mul_scalar(1.0 / n);
+    Ok((loss, grad))
+}
+
+/// Softmax cross-entropy with integer class targets over logits `[n, c]`;
+/// gradient w.r.t. the logits.
+///
+/// # Errors
+///
+/// Returns shape errors for non-matrices or out-of-range targets.
+pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> Result<(f32, Tensor), TensorError> {
+    if logits.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "cross_entropy",
+            expected: 2,
+            actual: logits.rank(),
+        });
+    }
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    if targets.len() != n {
+        return Err(TensorError::LengthMismatch {
+            len: targets.len(),
+            expected: n,
+        });
+    }
+    if let Some(&bad) = targets.iter().find(|&&t| t >= c) {
+        return Err(TensorError::IndexOutOfBounds {
+            index: bad,
+            bound: c,
+        });
+    }
+    let probs = logits.softmax()?;
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    for (r, &t) in targets.iter().enumerate() {
+        loss -= probs.data()[r * c + t].max(1e-12).ln();
+        grad.data_mut()[r * c + t] -= 1.0;
+    }
+    Ok((loss / n as f32, grad.mul_scalar(1.0 / n as f32)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_at_perfect_prediction() {
+        let p = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let (l, g) = mse(&p, &p).unwrap();
+        assert_eq!(l, 0.0);
+        assert!(g.data().iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_diff() {
+        let p = Tensor::from_vec(vec![0.5, -0.2], &[2]).unwrap();
+        let t = Tensor::from_vec(vec![1.0, 0.0], &[2]).unwrap();
+        let (_, g) = mse(&p, &t).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..2 {
+            let mut plus = p.data().to_vec();
+            plus[i] += eps;
+            let mut minus = p.data().to_vec();
+            minus[i] -= eps;
+            let lp = mse(&Tensor::from_vec(plus, &[2]).unwrap(), &t).unwrap().0;
+            let lm = mse(&Tensor::from_vec(minus, &[2]).unwrap(), &t).unwrap().0;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((g.data()[i] - numeric).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn bce_penalizes_confident_mistakes() {
+        let confident_right = Tensor::from_vec(vec![0.99], &[1]).unwrap();
+        let confident_wrong = Tensor::from_vec(vec![0.01], &[1]).unwrap();
+        let target = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        let (l_right, _) = bce(&confident_right, &target).unwrap();
+        let (l_wrong, _) = bce(&confident_wrong, &target).unwrap();
+        assert!(l_wrong > l_right * 10.0);
+    }
+
+    #[test]
+    fn bce_gradient_sign() {
+        let p = Tensor::from_vec(vec![0.3], &[1]).unwrap();
+        let t = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        let (_, g) = bce(&p, &t).unwrap();
+        // Underestimating a positive target: gradient pushes p up (negative
+        // gradient since optimizers subtract it).
+        assert!(g.data()[0] < 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_probs_minus_onehot() {
+        let logits = Tensor::from_vec(vec![2.0, 0.0, 0.0], &[1, 3]).unwrap();
+        let (l, g) = cross_entropy(&logits, &[0]).unwrap();
+        assert!(l > 0.0);
+        let probs = logits.softmax().unwrap();
+        assert!((g.data()[0] - (probs.data()[0] - 1.0)).abs() < 1e-6);
+        assert!((g.data()[1] - probs.data()[1]).abs() < 1e-6);
+        // Gradient rows sum to zero.
+        let s: f32 = g.data().iter().sum();
+        assert!(s.abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_validation() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(cross_entropy(&logits, &[0]).is_err());
+        assert!(cross_entropy(&logits, &[0, 3]).is_err());
+        assert!(cross_entropy(&Tensor::zeros(&[3]), &[0]).is_err());
+    }
+
+    #[test]
+    fn losses_validate_shapes() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(mse(&a, &b).is_err());
+        assert!(bce(&a, &b).is_err());
+    }
+}

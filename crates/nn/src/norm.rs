@@ -1,0 +1,198 @@
+//! Layer normalization with full backward pass.
+
+use crate::layer::Layer;
+use nsai_tensor::Tensor;
+
+const EPS: f32 = 1e-5;
+
+/// Layer normalization over the last axis of `[n, d]` batches, with
+/// learnable gain and bias.
+#[derive(Debug)]
+pub struct LayerNorm {
+    gamma: Tensor, // [d]
+    beta: Tensor,  // [d]
+    grad_gamma: Tensor,
+    grad_beta: Tensor,
+    cached: Option<LnCache>,
+    dim: usize,
+}
+
+#[derive(Debug)]
+struct LnCache {
+    normalized: Tensor, // x_hat
+    inv_std: Vec<f32>,  // per-row 1/σ
+}
+
+impl LayerNorm {
+    /// Create a LayerNorm over feature dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        LayerNorm {
+            gamma: Tensor::ones(&[dim]),
+            beta: Tensor::zeros(&[dim]),
+            grad_gamma: Tensor::zeros(&[dim]),
+            grad_beta: Tensor::zeros(&[dim]),
+            cached: None,
+            dim,
+        }
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.rank(), 2, "LayerNorm expects [n, d]");
+        assert_eq!(input.dims()[1], self.dim, "feature mismatch");
+        let (n, d) = (input.dims()[0], self.dim);
+        let mut normalized = vec![0.0f32; n * d];
+        let mut inv_std = vec![0.0f32; n];
+        for r in 0..n {
+            let row = &input.data()[r * d..(r + 1) * d];
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            let var: f32 = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / d as f32;
+            let is = 1.0 / (var + EPS).sqrt();
+            inv_std[r] = is;
+            for (c, v) in row.iter().enumerate() {
+                normalized[r * d + c] = (v - mean) * is;
+            }
+        }
+        let x_hat = Tensor::from_vec(normalized, &[n, d]).expect("length matches");
+        let out = x_hat
+            .mul(&self.gamma.reshape(&[1, d]).expect("reshape"))
+            .expect("broadcast")
+            .add(&self.beta.reshape(&[1, d]).expect("reshape"))
+            .expect("broadcast");
+        self.cached = Some(LnCache {
+            normalized: x_hat,
+            inv_std,
+        });
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self.cached.as_ref().expect("forward first");
+        let (n, d) = (grad_output.dims()[0], self.dim);
+        let x_hat = &cache.normalized;
+
+        // Parameter gradients.
+        let d_gamma = grad_output
+            .mul(x_hat)
+            .expect("same shape")
+            .sum_axis(0)
+            .expect("axis");
+        self.grad_gamma = self.grad_gamma.add(&d_gamma).expect("same shape");
+        let d_beta = grad_output.sum_axis(0).expect("axis");
+        self.grad_beta = self.grad_beta.add(&d_beta).expect("same shape");
+
+        // Input gradient:
+        // dx = (1/σ) * (dxhat - mean(dxhat) - x_hat * mean(dxhat ⊙ x_hat))
+        // where dxhat = grad_output ⊙ γ.
+        let mut out = vec![0.0f32; n * d];
+        for r in 0..n {
+            let is = cache.inv_std[r];
+            let mut mean_dxhat = 0.0f32;
+            let mut mean_dxhat_xhat = 0.0f32;
+            for c in 0..d {
+                let dxhat = grad_output.data()[r * d + c] * self.gamma.data()[c];
+                mean_dxhat += dxhat;
+                mean_dxhat_xhat += dxhat * x_hat.data()[r * d + c];
+            }
+            mean_dxhat /= d as f32;
+            mean_dxhat_xhat /= d as f32;
+            for c in 0..d {
+                let dxhat = grad_output.data()[r * d + c] * self.gamma.data()[c];
+                out[r * d + c] =
+                    is * (dxhat - mean_dxhat - x_hat.data()[r * d + c] * mean_dxhat_xhat);
+            }
+        }
+        Tensor::from_vec(out, &[n, d]).expect("length matches")
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.gamma, &mut self.grad_gamma);
+        f(&mut self.beta, &mut self.grad_beta);
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_gamma = Tensor::zeros(&[self.dim]);
+        self.grad_beta = Tensor::zeros(&[self.dim]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_normalizes_rows() {
+        let mut ln = LayerNorm::new(4);
+        let x =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0], &[2, 4]).unwrap();
+        let y = ln.forward(&x);
+        // Row 0 normalized: mean 0, unit variance.
+        let row0 = &y.data()[..4];
+        let mean: f32 = row0.iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        let var: f32 = row0.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 4.0;
+        assert!((var - 1.0).abs() < 1e-3);
+        // Constant row maps to zeros.
+        assert!(y.data()[4..].iter().all(|v| v.abs() < 1e-3));
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let dim = 3;
+        let x0 = vec![0.5f32, -1.0, 2.0];
+        // Scalar loss: sum of outputs weighted by fixed w.
+        let w = [0.3f32, -0.7, 1.1];
+        let loss = |xs: &[f32]| -> f32 {
+            let mut ln = LayerNorm::new(dim);
+            let x = Tensor::from_vec(xs.to_vec(), &[1, dim]).unwrap();
+            let y = ln.forward(&x);
+            y.data().iter().zip(&w).map(|(a, b)| a * b).sum()
+        };
+        // Analytic gradient.
+        let mut ln = LayerNorm::new(dim);
+        let x = Tensor::from_vec(x0.clone(), &[1, dim]).unwrap();
+        let _ = ln.forward(&x);
+        let grad = ln.backward(&Tensor::from_vec(w.to_vec(), &[1, dim]).unwrap());
+        // Numeric gradient.
+        let eps = 1e-3f32;
+        for i in 0..dim {
+            let mut plus = x0.clone();
+            plus[i] += eps;
+            let mut minus = x0.clone();
+            minus[i] -= eps;
+            let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+            assert!(
+                (grad.data()[i] - numeric).abs() < 1e-2,
+                "dim {i}: analytic {} vs numeric {numeric}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_beta_gradients() {
+        let mut ln = LayerNorm::new(2);
+        let x = Tensor::from_vec(vec![1.0, 3.0], &[1, 2]).unwrap();
+        ln.forward(&x);
+        ln.backward(&Tensor::ones(&[1, 2]));
+        let mut grads = Vec::new();
+        ln.visit_params(&mut |_, g| grads.push(g.data().to_vec()));
+        // d_beta = grad_output = ones.
+        assert_eq!(grads[1], vec![1.0, 1.0]);
+        // d_gamma = x_hat: [-1, 1] for this row.
+        assert!((grads[0][0] + 1.0).abs() < 1e-3);
+        assert!((grads[0][1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn param_count_is_two_dim() {
+        let mut ln = LayerNorm::new(5);
+        assert_eq!(ln.param_count(), 10);
+    }
+}

@@ -1,0 +1,205 @@
+//! Optimizers: SGD (with optional momentum) and Adam.
+//!
+//! Optimizers visit `(param, grad)` pairs through
+//! [`crate::layer::Layer::visit_params`]; per-parameter state (momentum,
+//! Adam moments) is keyed by visitation order, which is stable for a fixed
+//! network structure.
+
+use crate::layer::Layer;
+use nsai_tensor::Tensor;
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD with learning rate `lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive learning rates.
+    pub fn new(lr: f32) -> Self {
+        Self::with_momentum(lr, 0.0)
+    }
+
+    /// SGD with momentum `mu ∈ [0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for invalid hyperparameters.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Apply one update step to every parameter of `net`.
+    pub fn step(&mut self, net: &mut dyn Layer) {
+        let lr = self.lr;
+        let mu = self.momentum;
+        let velocity = &mut self.velocity;
+        let mut index = 0usize;
+        net.visit_params(&mut |param, grad| {
+            if mu > 0.0 {
+                if velocity.len() <= index {
+                    velocity.push(Tensor::zeros(param.dims()));
+                }
+                let v = &mut velocity[index];
+                for i in 0..param.numel() {
+                    let vi = mu * v.data()[i] + grad.data()[i];
+                    v.data_mut()[i] = vi;
+                    param.data_mut()[i] -= lr * vi;
+                }
+            } else {
+                for i in 0..param.numel() {
+                    param.data_mut()[i] -= lr * grad.data()[i];
+                }
+            }
+            index += 1;
+        });
+    }
+}
+
+/// Adam optimizer.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with the standard defaults `β₁ = 0.9, β₂ = 0.999, ε = 1e-8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a non-positive learning rate.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Apply one update step to every parameter of `net`.
+    pub fn step(&mut self, net: &mut dyn Layer) {
+        self.t += 1;
+        let (lr, b1, b2, eps, t) = (self.lr, self.beta1, self.beta2, self.eps, self.t);
+        let bias1 = 1.0 - b1.powi(t as i32);
+        let bias2 = 1.0 - b2.powi(t as i32);
+        let m_state = &mut self.m;
+        let v_state = &mut self.v;
+        let mut index = 0usize;
+        net.visit_params(&mut |param, grad| {
+            if m_state.len() <= index {
+                m_state.push(Tensor::zeros(param.dims()));
+                v_state.push(Tensor::zeros(param.dims()));
+            }
+            let m = &mut m_state[index];
+            let v = &mut v_state[index];
+            for i in 0..param.numel() {
+                let g = grad.data()[i];
+                let mi = b1 * m.data()[i] + (1.0 - b1) * g;
+                let vi = b2 * v.data()[i] + (1.0 - b2) * g * g;
+                m.data_mut()[i] = mi;
+                v.data_mut()[i] = vi;
+                let m_hat = mi / bias1;
+                let v_hat = vi / bias2;
+                param.data_mut()[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+            index += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+    use crate::loss;
+
+    fn train_step_reduces_loss(opt: &mut dyn FnMut(&mut Linear)) {
+        let mut l = Linear::new(2, 1, 5);
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]).unwrap();
+        let y = Tensor::from_vec(vec![1.0, -1.0, 0.0], &[3, 1]).unwrap();
+        let mut losses = Vec::new();
+        for _ in 0..50 {
+            let pred = l.forward(&x);
+            let (loss_v, grad) = loss::mse(&pred, &y).unwrap();
+            losses.push(loss_v);
+            l.backward(&grad);
+            opt(&mut l);
+            l.zero_grad();
+        }
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.2),
+            "loss did not drop: {losses:?}"
+        );
+    }
+
+    #[test]
+    fn sgd_reduces_loss() {
+        let mut sgd = Sgd::new(0.1);
+        train_step_reduces_loss(&mut |l| sgd.step(l));
+    }
+
+    #[test]
+    fn sgd_with_momentum_reduces_loss() {
+        let mut sgd = Sgd::with_momentum(0.05, 0.9);
+        train_step_reduces_loss(&mut |l| sgd.step(l));
+    }
+
+    #[test]
+    fn adam_reduces_loss() {
+        let mut adam = Adam::new(0.05);
+        train_step_reduces_loss(&mut |l| adam.step(l));
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // Minimize (w - 3)^2 via a 1x1 linear layer on input 1, target 3.
+        let mut l = Linear::new(1, 1, 11);
+        let x = Tensor::ones(&[1, 1]);
+        let y = Tensor::from_vec(vec![3.0], &[1, 1]).unwrap();
+        let mut adam = Adam::new(0.1);
+        for _ in 0..500 {
+            let pred = l.forward(&x);
+            let (_, grad) = loss::mse(&pred, &y).unwrap();
+            l.backward(&grad);
+            adam.step(&mut l);
+            l.zero_grad();
+        }
+        let final_pred = l.forward(&x).data()[0];
+        assert!((final_pred - 3.0).abs() < 0.05, "pred {final_pred}");
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn sgd_validates_lr() {
+        let _ = Sgd::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn sgd_validates_momentum() {
+        let _ = Sgd::with_momentum(0.1, 1.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Sequential container of layers.
+
+use crate::layer::Layer;
+use nsai_tensor::Tensor;
+
+/// A stack of layers applied in order.
+#[derive(Debug, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Empty container.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a layer (builder style).
+    #[must_use]
+    pub fn with(mut self, layer: Box<dyn Layer>) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Append a layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the container has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::{Activation, ActivationKind};
+    use crate::linear::Linear;
+
+    #[test]
+    fn forward_composes_layers() {
+        let mut net = Sequential::new()
+            .with(Box::new(Linear::new(2, 3, 1)))
+            .with(Box::new(Activation::new(ActivationKind::Relu)))
+            .with(Box::new(Linear::new(3, 1, 2)));
+        assert_eq!(net.len(), 3);
+        let x = Tensor::ones(&[4, 2]);
+        let y = net.forward(&x);
+        assert_eq!(y.dims(), &[4, 1]);
+    }
+
+    #[test]
+    fn backward_traverses_in_reverse() {
+        let mut net = Sequential::new()
+            .with(Box::new(Linear::new(2, 2, 3)))
+            .with(Box::new(Activation::new(ActivationKind::Tanh)));
+        let x = Tensor::ones(&[1, 2]);
+        let _ = net.forward(&x);
+        let g = net.backward(&Tensor::ones(&[1, 2]));
+        assert_eq!(g.dims(), &[1, 2]);
+        assert!(net.param_count() > 0);
+    }
+
+    #[test]
+    fn zero_grad_propagates() {
+        let mut net = Sequential::new().with(Box::new(Linear::new(2, 2, 4)));
+        let x = Tensor::ones(&[1, 2]);
+        net.forward(&x);
+        net.backward(&Tensor::ones(&[1, 2]));
+        net.zero_grad();
+        net.visit_params(&mut |_, g| assert!(g.data().iter().all(|v| *v == 0.0)));
+    }
+}

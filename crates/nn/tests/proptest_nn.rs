@@ -1,0 +1,139 @@
+//! Property-based gradient checks: analytic backward passes must agree
+//! with central finite differences on random shapes and inputs.
+
+use nsai_nn::activation::{Activation, ActivationKind};
+use nsai_nn::layer::Layer;
+use nsai_nn::linear::Linear;
+use nsai_nn::loss;
+use nsai_nn::norm::LayerNorm;
+use nsai_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Scalar loss used throughout: weighted sum of outputs with fixed
+/// pseudo-random weights (exercises non-uniform gradients).
+fn weighted_sum(out: &Tensor) -> (f32, Tensor) {
+    let weights: Vec<f32> = (0..out.numel())
+        .map(|i| ((i * 37 + 11) % 7) as f32 / 7.0 - 0.4)
+        .collect();
+    let w = Tensor::from_vec(weights, out.dims()).expect("same shape");
+    let loss = out.mul(&w).expect("same shape").sum();
+    (loss, w)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn linear_input_gradients_check(
+        rows in 1usize..4,
+        in_f in 1usize..6,
+        out_f in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let x = Tensor::rand_uniform(&[rows, in_f], -1.0, 1.0, seed);
+        let mut layer = Linear::new(in_f, out_f, seed + 1);
+        let out = layer.forward(&x);
+        let (_, w) = weighted_sum(&out);
+        let grad_in = layer.backward(&w);
+
+        let eps = 1e-3f32;
+        for idx in 0..x.numel() {
+            let eval = |xs: &Tensor| {
+                let mut l = Linear::new(in_f, out_f, seed + 1);
+                weighted_sum(&l.forward(xs)).0
+            };
+            let mut plus = x.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = x.clone();
+            minus.data_mut()[idx] -= eps;
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+            prop_assert!(
+                (grad_in.data()[idx] - numeric).abs() < 2e-2,
+                "idx {idx}: analytic {} vs numeric {numeric}",
+                grad_in.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn activation_gradients_check(kind_idx in 0usize..3, v in -2.0f32..2.0, seed in 0u64..100) {
+        let kind = [ActivationKind::Relu, ActivationKind::Sigmoid, ActivationKind::Tanh][kind_idx];
+        // Avoid the ReLU kink.
+        let v = if kind == ActivationKind::Relu && v.abs() < 0.05 { 0.5 } else { v };
+        let x = Tensor::from_vec(vec![v, v * 0.5 - 0.1], &[1, 2]).unwrap();
+        let mut act = Activation::new(kind);
+        let _ = act.forward(&x);
+        let grad = act.backward(&Tensor::ones(&[1, 2]));
+        let eps = 1e-3f32;
+        let eval = |xs: &Tensor| {
+            let mut a = Activation::new(kind);
+            a.forward(xs).sum()
+        };
+        let _ = seed;
+        for idx in 0..2 {
+            if kind == ActivationKind::Relu && x.data()[idx].abs() < 0.05 {
+                continue;
+            }
+            let mut plus = x.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = x.clone();
+            minus.data_mut()[idx] -= eps;
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+            prop_assert!(
+                (grad.data()[idx] - numeric).abs() < 1e-2,
+                "{kind:?} idx {idx}: analytic {} vs numeric {numeric}",
+                grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn layernorm_gradients_check(dim in 2usize..6, seed in 0u64..200) {
+        let x = Tensor::rand_uniform(&[1, dim], -2.0, 2.0, seed);
+        let mut ln = LayerNorm::new(dim);
+        let out = ln.forward(&x);
+        let (_, w) = weighted_sum(&out);
+        let grad = ln.backward(&w);
+        let eps = 1e-3f32;
+        let eval = |xs: &Tensor| {
+            let mut l = LayerNorm::new(dim);
+            weighted_sum(&l.forward(xs)).0
+        };
+        for idx in 0..dim {
+            let mut plus = x.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = x.clone();
+            minus.data_mut()[idx] -= eps;
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+            prop_assert!(
+                (grad.data()[idx] - numeric).abs() < 3e-2,
+                "idx {idx}: analytic {} vs numeric {numeric}",
+                grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn losses_decrease_along_negative_gradient(seed in 0u64..300) {
+        // One explicit-gradient descent step must reduce each loss.
+        let pred = Tensor::rand_uniform(&[6], 0.2, 0.8, seed);
+        let target = Tensor::rand_uniform(&[6], 0.0, 1.0, seed + 1);
+        for loss_fn in [loss::mse, loss::bce] {
+            let (l0, grad) = loss_fn(&pred, &target).unwrap();
+            let stepped = pred.sub(&grad.mul_scalar(0.05)).unwrap().clamp(1e-3, 1.0 - 1e-3);
+            let (l1, _) = loss_fn(&stepped, &target).unwrap();
+            prop_assert!(l1 <= l0 + 1e-6, "loss rose {l0} -> {l1}");
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_rows_sum_to_zero(classes in 2usize..6, seed in 0u64..200) {
+        let logits = Tensor::rand_uniform(&[3, classes], -2.0, 2.0, seed);
+        let targets: Vec<usize> = (0..3).map(|i| i % classes).collect();
+        let (_, grad) = loss::cross_entropy(&logits, &targets).unwrap();
+        for r in 0..3 {
+            let s: f32 = grad.data()[r * classes..(r + 1) * classes].iter().sum();
+            prop_assert!(s.abs() < 1e-5, "row {r} sums to {s}");
+        }
+    }
+}

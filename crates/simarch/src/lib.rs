@@ -1,0 +1,48 @@
+//! # nsai-simarch
+//!
+//! The architecture-simulation layer of the `neurosym` workspace — the
+//! substitute for the paper's physical testbed (RTX 2080 Ti, Jetson TX2,
+//! Xavier NX) and its Nsight Systems/Compute profiling:
+//!
+//! - [`device`] — analytic device models (peak throughput, memory
+//!   bandwidth, launch overhead) for the four platforms of Sec. IV-A.
+//! - [`project`] — roofline-based latency projection of a recorded
+//!   operator trace onto a device model (regenerates Fig. 2b/2c's device
+//!   sweep).
+//! - [`cache`] — a set-associative, LRU, multi-level cache simulator.
+//! - [`ktrace`] — memory-trace generators for the representative kernels
+//!   of Tab. IV (tiled sgemm, relu, vectorized elementwise, strided
+//!   elementwise) and the derivation of Tab. IV-style utilization metrics.
+//! - [`opgraph`] — operation-dependency graphs with critical-path analysis
+//!   (Fig. 4 / Takeaway 5).
+//! - [`noc`] — a 2-D mesh network-on-chip model for evaluating
+//!   Recommendation 6's multi-PE symbolic architectures.
+//!
+//! ```
+//! use nsai_simarch::device::Device;
+//!
+//! let rtx = Device::rtx_2080_ti();
+//! let tx2 = Device::jetson_tx2();
+//! // An edge SoC is slower on the same kernel.
+//! let flops = 1_000_000_000;
+//! let bytes = 10_000_000;
+//! assert!(tx2.op_time_secs(flops, bytes, nsai_core::OpCategory::MatMul)
+//!         > rtx.op_time_secs(flops, bytes, nsai_core::OpCategory::MatMul));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod device;
+pub mod ktrace;
+pub mod noc;
+pub mod opgraph;
+pub mod project;
+
+pub use cache::{CacheHierarchy, CacheLevelConfig, CacheStats};
+pub use device::Device;
+pub use ktrace::{KernelKind, KernelMetrics};
+pub use noc::MeshNoc;
+pub use opgraph::{OpGraph, OpGraphStats};
+pub use project::{project_trace, DeviceLatency};

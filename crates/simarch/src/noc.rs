@@ -1,0 +1,225 @@
+//! Network-on-chip model (Recommendation 6).
+//!
+//! The paper's architecture-level recommendation is a *"heterogeneous or
+//! reconfigurable neural/symbolic architecture with efficient
+//! vector-symbolic units and high-bandwidth NoC"*. This module provides
+//! the analytic mesh model needed to evaluate that recommendation: a 2-D
+//! mesh with XY routing, per-hop latency, and link serialization, plus a
+//! first-order model of offloading a symbolic operator across `n`
+//! processing elements (scatter → compute → gather).
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-D mesh NoC with XY dimension-order routing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeshNoc {
+    width: usize,
+    height: usize,
+    /// Per-link bandwidth in GB/s.
+    link_bw_gbps: f64,
+    /// Per-hop router+link latency in nanoseconds.
+    hop_latency_ns: f64,
+}
+
+/// A tile coordinate `(x, y)`.
+pub type Tile = (usize, usize);
+
+impl MeshNoc {
+    /// Build a `width × height` mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics for degenerate parameters (zero extent, non-positive
+    /// bandwidth or latency).
+    pub fn new(width: usize, height: usize, link_bw_gbps: f64, hop_latency_ns: f64) -> Self {
+        assert!(width > 0 && height > 0, "mesh extent must be positive");
+        assert!(link_bw_gbps > 0.0, "link bandwidth must be positive");
+        assert!(hop_latency_ns >= 0.0, "hop latency cannot be negative");
+        MeshNoc {
+            width,
+            height,
+            link_bw_gbps,
+            hop_latency_ns,
+        }
+    }
+
+    /// A modern-accelerator-like mesh: 128 GB/s links, 1 ns hops.
+    pub fn accelerator_like(width: usize, height: usize) -> Self {
+        MeshNoc::new(width, height, 128.0, 1.0)
+    }
+
+    /// Mesh width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Mesh height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of tiles.
+    pub fn tiles(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// XY-routing hop count between two tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either coordinate is outside the mesh.
+    pub fn hops(&self, src: Tile, dst: Tile) -> usize {
+        assert!(
+            src.0 < self.width && src.1 < self.height,
+            "src outside mesh"
+        );
+        assert!(
+            dst.0 < self.width && dst.1 < self.height,
+            "dst outside mesh"
+        );
+        src.0.abs_diff(dst.0) + src.1.abs_diff(dst.1)
+    }
+
+    /// Contention-free transfer time in nanoseconds for `bytes` from `src`
+    /// to `dst`: head latency (hops) plus serialization on the narrowest
+    /// (uniform) link.
+    pub fn transfer_time_ns(&self, bytes: u64, src: Tile, dst: Tile) -> f64 {
+        let hops = self.hops(src, dst) as f64;
+        hops * self.hop_latency_ns + bytes as f64 / self.link_bw_gbps
+    }
+
+    /// Bisection bandwidth in GB/s: links crossing the narrower mid-cut.
+    pub fn bisection_bandwidth_gbps(&self) -> f64 {
+        let cut_links = self.width.min(self.height);
+        cut_links as f64 * self.link_bw_gbps
+    }
+
+    /// Worst-case one-to-all broadcast time from `src` (farthest corner
+    /// bound; a tree broadcast pipelines the serialization).
+    pub fn broadcast_time_ns(&self, bytes: u64, src: Tile) -> f64 {
+        let corners = [
+            (0, 0),
+            (self.width - 1, 0),
+            (0, self.height - 1),
+            (self.width - 1, self.height - 1),
+        ];
+        let max_hops = corners
+            .iter()
+            .map(|&c| self.hops(src, c))
+            .max()
+            .unwrap_or(0) as f64;
+        max_hops * self.hop_latency_ns + bytes as f64 / self.link_bw_gbps
+    }
+
+    /// First-order latency of offloading a symbolic operator of `flops`
+    /// FLOPs over `bytes` of operand data across every tile of the mesh:
+    /// scatter operand shards from tile (0,0), compute in parallel at
+    /// `pe_gflops` per tile, gather result shards (assumed `bytes / 8`).
+    ///
+    /// This is the trade the paper's Recommendation 5/6 discussion
+    /// weighs: parallel symbolic units help only when the NoC can feed
+    /// them — for memory-bound operators, scatter/gather dominates as the
+    /// mesh grows.
+    pub fn offload_latency_ns(&self, flops: u64, bytes: u64, pe_gflops: f64) -> f64 {
+        assert!(pe_gflops > 0.0, "PE throughput must be positive");
+        let n = self.tiles() as f64;
+        let shard = bytes as f64 / n;
+        // Scatter: each shard travels from (0,0); serialization on the
+        // root's links is the bottleneck — model as total bytes over the
+        // root's outgoing bandwidth (up to 2 links from a corner).
+        let root_links = 2.0f64.min(n - 1.0).max(1.0);
+        let scatter = bytes as f64 / (self.link_bw_gbps * root_links)
+            + self.hops((0, 0), (self.width - 1, self.height - 1)) as f64 * self.hop_latency_ns;
+        let compute = flops as f64 / n / pe_gflops; // GFLOP/s == flops/ns
+        let gather = (bytes as f64 / 8.0) / (self.link_bw_gbps * root_links)
+            + self.hops((0, 0), (self.width - 1, self.height - 1)) as f64 * self.hop_latency_ns;
+        let _ = shard;
+        scatter + compute + gather
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hop_math_is_manhattan() {
+        let mesh = MeshNoc::accelerator_like(4, 4);
+        assert_eq!(mesh.hops((0, 0), (3, 3)), 6);
+        assert_eq!(mesh.hops((1, 2), (1, 2)), 0);
+        assert_eq!(mesh.hops((3, 0), (0, 0)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside mesh")]
+    fn hops_validates_coordinates() {
+        let mesh = MeshNoc::accelerator_like(2, 2);
+        let _ = mesh.hops((0, 0), (2, 0));
+    }
+
+    #[test]
+    fn transfer_time_separates_latency_and_bandwidth() {
+        let mesh = MeshNoc::new(4, 4, 100.0, 2.0);
+        // 1 KB over 3 hops: 6 ns head + 10 ns serialization.
+        let t = mesh.transfer_time_ns(1000, (0, 0), (2, 1));
+        assert!((t - 16.0).abs() < 1e-9, "{t}");
+        // Zero-hop transfer is pure serialization.
+        let local = mesh.transfer_time_ns(1000, (1, 1), (1, 1));
+        assert!((local - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bisection_scales_with_narrow_dimension() {
+        assert_eq!(
+            MeshNoc::new(8, 4, 100.0, 1.0).bisection_bandwidth_gbps(),
+            400.0
+        );
+        assert_eq!(
+            MeshNoc::new(4, 4, 128.0, 1.0).bisection_bandwidth_gbps(),
+            512.0
+        );
+    }
+
+    #[test]
+    fn broadcast_bounded_by_farthest_corner() {
+        let mesh = MeshNoc::new(4, 4, 128.0, 1.0);
+        let from_corner = mesh.broadcast_time_ns(0, (0, 0));
+        let from_center = mesh.broadcast_time_ns(0, (1, 1));
+        assert!(from_corner > from_center);
+        assert_eq!(from_corner, 6.0);
+    }
+
+    #[test]
+    fn compute_bound_offload_improves_with_mesh_size() {
+        // Compute-heavy operator: more PEs help.
+        let small = MeshNoc::accelerator_like(2, 2);
+        let large = MeshNoc::accelerator_like(4, 4);
+        let flops = 10_000_000_000;
+        let bytes = 1_000_000;
+        assert!(
+            large.offload_latency_ns(flops, bytes, 1.0)
+                < small.offload_latency_ns(flops, bytes, 1.0)
+        );
+    }
+
+    #[test]
+    fn memory_bound_offload_saturates() {
+        // Bandwidth-heavy symbolic operator (1 flop per 12 bytes): growing
+        // the mesh barely helps — scatter/gather dominates (the paper's
+        // parallelism-scalability caution).
+        let small = MeshNoc::accelerator_like(2, 2);
+        let large = MeshNoc::accelerator_like(8, 8);
+        let flops = 1_000;
+        let bytes = 12_000_000;
+        let t_small = small.offload_latency_ns(flops, bytes, 1.0);
+        let t_large = large.offload_latency_ns(flops, bytes, 1.0);
+        // Less than 2x gain from a 16x PE increase.
+        assert!(t_large > t_small / 2.0, "small {t_small} large {t_large}");
+    }
+
+    #[test]
+    #[should_panic(expected = "extent must be positive")]
+    fn validates_extent() {
+        let _ = MeshNoc::new(0, 4, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests of the cache simulator, device models, and
+//! operation graphs.
+
+use nsai_core::taxonomy::{OpCategory, Phase};
+use nsai_simarch::cache::{CacheHierarchy, CacheLevelConfig};
+use nsai_simarch::device::Device;
+use nsai_simarch::opgraph::OpGraph;
+use proptest::prelude::*;
+
+fn small_hierarchy() -> CacheHierarchy {
+    CacheHierarchy::new(
+        CacheLevelConfig {
+            capacity: 512,
+            line_size: 64,
+            ways: 2,
+        },
+        CacheLevelConfig {
+            capacity: 2048,
+            line_size: 64,
+            ways: 4,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cache_stats_are_conserved(addrs in prop::collection::vec(0u64..100_000, 1..200)) {
+        let mut h = small_hierarchy();
+        for a in &addrs {
+            h.access(*a, 4);
+        }
+        let s = h.stats();
+        // Every access is served exactly once.
+        prop_assert_eq!(s.l1_hits + s.l2_hits + s.dram_accesses, s.accesses);
+        prop_assert!(s.l1_hit_rate() <= 1.0);
+        prop_assert!(s.l2_hit_rate() <= 1.0);
+        // DRAM bytes are line-granular multiples.
+        prop_assert_eq!(s.dram_bytes % 64, 0);
+        prop_assert_eq!(s.dram_bytes / 64, s.dram_accesses);
+    }
+
+    #[test]
+    fn second_pass_never_hits_less(addrs in prop::collection::vec(0u64..2_000, 1..30)) {
+        // A working set replayed twice: the second pass hit rate cannot be
+        // worse than the first (contents are warm).
+        let mut h = small_hierarchy();
+        for a in &addrs {
+            h.access(*a, 4);
+        }
+        let first = h.stats();
+        h.reset_stats();
+        for a in &addrs {
+            h.access(*a, 4);
+        }
+        let second = h.stats();
+        prop_assert!(
+            second.l1_hits + second.l2_hits >= first.l1_hits + first.l2_hits,
+            "first {first:?} second {second:?}"
+        );
+    }
+
+    #[test]
+    fn device_time_is_monotone(flops in 0u64..1_000_000_000, bytes in 0u64..1_000_000_000) {
+        let d = Device::rtx_2080_ti();
+        let t = d.op_time_secs(flops, bytes, OpCategory::MatMul);
+        let t_more_flops = d.op_time_secs(flops * 2, bytes, OpCategory::MatMul);
+        let t_more_bytes = d.op_time_secs(flops, bytes * 2, OpCategory::MatMul);
+        prop_assert!(t_more_flops >= t);
+        prop_assert!(t_more_bytes >= t);
+        prop_assert!(t >= d.launch_overhead_s());
+    }
+
+    #[test]
+    fn slower_devices_never_win(flops in 1u64..1_000_000_000, bytes in 1u64..100_000_000) {
+        // TX2 is dominated by the RTX on both axes, for every category.
+        let rtx = Device::rtx_2080_ti();
+        let tx2 = Device::jetson_tx2();
+        for cat in OpCategory::ALL {
+            let fast = rtx.op_time_secs(flops, bytes, cat);
+            let slow = tx2.op_time_secs(flops, bytes, cat);
+            prop_assert!(slow >= fast * 0.99, "{cat:?}: rtx {fast} vs tx2 {slow}");
+        }
+    }
+
+    #[test]
+    fn critical_path_bounds_total_work(durations in prop::collection::vec(0.0f64..10.0, 1..20)) {
+        // A linear chain: critical path equals total work.
+        let mut g = OpGraph::new();
+        let mut prev = None;
+        for (i, d) in durations.iter().enumerate() {
+            let phase = if i % 2 == 0 { Phase::Neural } else { Phase::Symbolic };
+            let node = g.add_node(format!("n{i}"), phase, *d);
+            if let Some(p) = prev {
+                g.add_edge(p, node);
+            }
+            prev = Some(node);
+        }
+        let stats = g.analyze();
+        prop_assert!((stats.critical_path_s - stats.total_work_s).abs() < 1e-9);
+        prop_assert!((stats.parallelism - 1.0).abs() < 1e-9 || stats.critical_path_s == 0.0);
+    }
+
+    #[test]
+    fn parallel_graph_has_parallelism(durations in prop::collection::vec(0.01f64..10.0, 2..20)) {
+        // A fan of independent nodes: critical path = max, work = sum.
+        let mut g = OpGraph::new();
+        for (i, d) in durations.iter().enumerate() {
+            g.add_node(format!("n{i}"), Phase::Neural, *d);
+        }
+        let stats = g.analyze();
+        let max = durations.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let sum: f64 = durations.iter().sum();
+        prop_assert!((stats.critical_path_s - max).abs() < 1e-9);
+        prop_assert!((stats.total_work_s - sum).abs() < 1e-9);
+        prop_assert!(stats.parallelism >= 1.0 - 1e-12);
+    }
+}

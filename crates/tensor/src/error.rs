@@ -1,0 +1,103 @@
+//! Tensor error type.
+
+use std::fmt;
+
+/// Errors produced by tensor construction and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Element count does not match the requested shape.
+    LengthMismatch {
+        /// Number of data elements supplied.
+        len: usize,
+        /// Number of elements the shape requires.
+        expected: usize,
+    },
+    /// Two shapes are incompatible for the attempted operation.
+    ShapeMismatch {
+        /// Operation name, e.g. `"matmul"`.
+        op: &'static str,
+        /// Left/first shape.
+        lhs: Vec<usize>,
+        /// Right/second shape.
+        rhs: Vec<usize>,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// The operation requires a different rank.
+    RankMismatch {
+        /// Operation name.
+        op: &'static str,
+        /// Expected rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+    },
+    /// Index out of bounds along some axis.
+    IndexOutOfBounds {
+        /// The offending flat or axis index.
+        index: usize,
+        /// The bound that was exceeded.
+        bound: usize,
+    },
+    /// Invalid parameter (e.g. zero stride, non-power-of-two FFT length).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { len, expected } => {
+                write!(
+                    f,
+                    "data length {len} does not match shape requiring {expected} elements"
+                )
+            }
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => {
+                write!(f, "{op}: expected rank {expected}, got {actual}")
+            }
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds ({bound})")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
+        assert!(e.to_string().contains("matmul"));
+        assert!(e.to_string().contains("[2, 3]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

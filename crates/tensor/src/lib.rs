@@ -1,0 +1,81 @@
+//! # nsai-tensor
+//!
+//! An instrumented dense + sparse tensor library: the substrate every
+//! workload in the `neurosym` workspace computes on, replacing PyTorch/ATen
+//! in the ISPASS 2024 characterization reproduction.
+//!
+//! Every operator is **instrumented**: when a [`nsai_core::Profiler`] is
+//! active on the current thread, each kernel reports an operator event with
+//! its Sec. IV-B category, measured duration, FLOP count, bytes moved, and
+//! output sparsity. When no profiler is active the overhead is a single
+//! thread-local check.
+//!
+//! Modules:
+//!
+//! - [`shape`] — shapes, strides, broadcasting.
+//! - [`dense`] — the dense `f32` [`Tensor`] with allocation tracking.
+//! - [`ops`] — elementwise / matmul / conv / reduction / transform /
+//!   movement kernels.
+//! - [`fft`] — radix-2 FFT and circular convolution (the NVSA arithmetic-
+//!   rule kernel).
+//! - [`sparse`] — COO and CSR matrices, SpMM, SDDMM, coalescing.
+//!
+//! ```
+//! use nsai_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.data(), a.data());
+//! # Ok::<(), nsai_tensor::TensorError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dense;
+pub mod error;
+pub mod fft;
+pub mod ops;
+pub mod shape;
+pub mod sparse;
+
+pub use dense::Tensor;
+pub use error::TensorError;
+pub use shape::Shape;
+pub use sparse::{CooMatrix, CsrMatrix};
+
+pub(crate) mod instrument {
+    //! Internal helper bridging kernels to the active profiler.
+
+    use nsai_core::profile::{self, OpMeta};
+    use nsai_core::taxonomy::OpCategory;
+    use std::time::Instant;
+
+    /// Size of one element in bytes (`f32`).
+    pub const ELEM: u64 = 4;
+
+    /// Run `f` timed; when a profiler is active, compute metadata from the
+    /// output *outside* the timed region and record the event.
+    pub fn run_op<T>(
+        name: &str,
+        category: OpCategory,
+        f: impl FnOnce() -> T,
+        meta_of: impl FnOnce(&T) -> OpMeta,
+    ) -> T {
+        if !profile::is_active() {
+            return f();
+        }
+        let start = Instant::now();
+        let out = f();
+        let duration = start.elapsed();
+        let meta = meta_of(&out);
+        profile::record(name, category, meta, duration);
+        out
+    }
+
+    /// Count non-zeros in a slice (only called when a profiler is active).
+    pub fn nnz(values: &[f32]) -> u64 {
+        values.iter().filter(|v| **v != 0.0).count() as u64
+    }
+}

@@ -1,0 +1,353 @@
+//! Vector / element-wise tensor operations (`OpCategory::VectorElementwise`).
+//!
+//! These are the kernels that dominate symbolic workloads (Takeaway 3):
+//! low operational intensity — one or two FLOPs per 12 bytes moved — which
+//! is what puts the symbolic phases in the memory-bound region of Fig. 3c.
+
+use crate::dense::Tensor;
+use crate::error::TensorError;
+use crate::instrument::{nnz, run_op, ELEM};
+use crate::shape::Shape;
+use nsai_core::profile::OpMeta;
+use nsai_core::taxonomy::OpCategory;
+
+impl Tensor {
+    /// Apply a binary elementwise kernel with NumPy broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes do not broadcast.
+    pub fn binary_op(
+        &self,
+        other: &Tensor,
+        name: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor, TensorError> {
+        let out_shape = self.shape().broadcast(other.shape())?;
+        let read_bytes = (self.numel() + other.numel()) as u64 * ELEM;
+        let out = run_op(
+            name,
+            OpCategory::VectorElementwise,
+            || {
+                if self.shape() == other.shape() {
+                    // Fast path: aligned buffers.
+                    let data: Vec<f32> = self
+                        .data()
+                        .iter()
+                        .zip(other.data().iter())
+                        .map(|(a, b)| f(*a, *b))
+                        .collect();
+                    Tensor::from_vec_unchecked(data, out_shape.clone())
+                } else {
+                    let mut data = Vec::with_capacity(out_shape.numel());
+                    for idx in out_shape.indices() {
+                        let a = broadcast_fetch(self, &idx, &out_shape);
+                        let b = broadcast_fetch(other, &idx, &out_shape);
+                        data.push(f(a, b));
+                    }
+                    Tensor::from_vec_unchecked(data, out_shape.clone())
+                }
+            },
+            |out| {
+                OpMeta::new()
+                    .flops(out.numel() as u64)
+                    .bytes_read(read_bytes)
+                    .bytes_written(out.numel() as u64 * ELEM)
+                    .output_elems(out.numel() as u64)
+                    .output_nonzeros(nnz(out.data()))
+            },
+        );
+        Ok(out)
+    }
+
+    /// Apply a unary elementwise kernel.
+    pub fn unary_op(&self, name: &'static str, f: impl Fn(f32) -> f32) -> Tensor {
+        run_op(
+            name,
+            OpCategory::VectorElementwise,
+            || {
+                let data: Vec<f32> = self.data().iter().map(|v| f(*v)).collect();
+                Tensor::from_vec_unchecked(data, self.shape().clone())
+            },
+            |out| {
+                OpMeta::new()
+                    .flops(out.numel() as u64)
+                    .bytes_read(self.numel() as u64 * ELEM)
+                    .bytes_written(out.numel() as u64 * ELEM)
+                    .output_elems(out.numel() as u64)
+                    .output_nonzeros(nnz(out.data()))
+            },
+        )
+    }
+
+    /// Elementwise addition with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes do not broadcast.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.binary_op(other, "add", |a, b| a + b)
+    }
+
+    /// Elementwise subtraction with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes do not broadcast.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.binary_op(other, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) multiplication with broadcasting — the VSA
+    /// *binding* kernel for bipolar hypervectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes do not broadcast.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.binary_op(other, "mul", |a, b| a * b)
+    }
+
+    /// Elementwise division with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes do not broadcast.
+    pub fn div(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.binary_op(other, "div", |a, b| a / b)
+    }
+
+    /// Elementwise maximum with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes do not broadcast.
+    pub fn maximum(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.binary_op(other, "maximum", f32::max)
+    }
+
+    /// Elementwise minimum with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes do not broadcast.
+    pub fn minimum(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.binary_op(other, "minimum", f32::min)
+    }
+
+    /// Elementwise `a > b` as 0/1 with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes do not broadcast.
+    pub fn gt(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.binary_op(other, "gt", |a, b| if a > b { 1.0 } else { 0.0 })
+    }
+
+    /// Add a scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.unary_op("add_scalar", |v| v + s)
+    }
+
+    /// Multiply every element by a scalar.
+    pub fn mul_scalar(&self, s: f32) -> Tensor {
+        self.unary_op("mul_scalar", |v| v * s)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Tensor {
+        self.unary_op("neg", |v| -v)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Tensor {
+        self.unary_op("abs", f32::abs)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Tensor {
+        self.unary_op("exp", f32::exp)
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&self) -> Tensor {
+        self.unary_op("ln", f32::ln)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor {
+        self.unary_op("sqrt", f32::sqrt)
+    }
+
+    /// Elementwise ReLU activation.
+    pub fn relu(&self) -> Tensor {
+        self.unary_op("relu", |v| v.max(0.0))
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&self) -> Tensor {
+        self.unary_op("sigmoid", |v| 1.0 / (1.0 + (-v).exp()))
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        self.unary_op("tanh", f32::tanh)
+    }
+
+    /// Elementwise sign (−1, 0, +1) — the VSA bipolarization kernel.
+    pub fn sign(&self) -> Tensor {
+        self.unary_op("sign", |v| {
+            if v > 0.0 {
+                1.0
+            } else if v < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Clamp every element into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.unary_op("clamp", |v| v.clamp(lo, hi))
+    }
+
+    /// Raise every element to an integer power.
+    pub fn powi(&self, n: i32) -> Tensor {
+        self.unary_op("powi", |v| v.powi(n))
+    }
+}
+
+/// Fetch the element of `t` that broadcasts to position `idx` of
+/// `out_shape`.
+fn broadcast_fetch(t: &Tensor, idx: &[usize], out_shape: &Shape) -> f32 {
+    let rank_diff = out_shape.rank() - t.rank();
+    let dims = t.dims();
+    let strides = t.shape().strides();
+    let mut off = 0usize;
+    for (axis, &d) in dims.iter().enumerate() {
+        let i = idx[axis + rank_diff];
+        off += if d == 1 { 0 } else { i * strides[axis] };
+    }
+    t.data()[off]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsai_core::taxonomy::Phase;
+    use nsai_core::Profiler;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn add_aligned() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let b = t(&[10.0, 20.0], &[2]);
+        assert_eq!(a.add(&b).unwrap().data(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn broadcast_row_and_column() {
+        let a = t(&[1.0, 2.0, 3.0], &[3, 1]);
+        let b = t(&[10.0, 20.0], &[1, 2]);
+        let c = a.add(&b).unwrap();
+        assert_eq!(c.dims(), &[3, 2]);
+        assert_eq!(c.data(), &[11.0, 21.0, 12.0, 22.0, 13.0, 23.0]);
+    }
+
+    #[test]
+    fn broadcast_scalar_tensor() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let s = Tensor::scalar(100.0);
+        assert_eq!(a.add(&s).unwrap().data(), &[101.0, 102.0]);
+    }
+
+    #[test]
+    fn incompatible_shapes_error() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let b = t(&[1.0, 2.0, 3.0], &[3]);
+        assert!(a.add(&b).is_err());
+    }
+
+    #[test]
+    fn arithmetic_kernels() {
+        let a = t(&[4.0, 9.0], &[2]);
+        let b = t(&[2.0, 3.0], &[2]);
+        assert_eq!(a.sub(&b).unwrap().data(), &[2.0, 6.0]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[8.0, 27.0]);
+        assert_eq!(a.div(&b).unwrap().data(), &[2.0, 3.0]);
+        assert_eq!(a.maximum(&b).unwrap().data(), &[4.0, 9.0]);
+        assert_eq!(a.minimum(&b).unwrap().data(), &[2.0, 3.0]);
+        assert_eq!(a.gt(&b).unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn unary_kernels() {
+        let a = t(&[-1.0, 4.0], &[2]);
+        assert_eq!(a.neg().data(), &[1.0, -4.0]);
+        assert_eq!(a.abs().data(), &[1.0, 4.0]);
+        assert_eq!(a.relu().data(), &[0.0, 4.0]);
+        assert_eq!(a.sqrt().data()[1], 2.0);
+        assert_eq!(a.sign().data(), &[-1.0, 1.0]);
+        assert_eq!(a.clamp(0.0, 2.0).data(), &[0.0, 2.0]);
+        assert_eq!(a.powi(2).data(), &[1.0, 16.0]);
+        assert_eq!(t(&[0.0], &[1]).sign().data(), &[0.0]);
+    }
+
+    #[test]
+    fn sigmoid_and_tanh_ranges() {
+        let a = t(&[-100.0, 0.0, 100.0], &[3]);
+        let s = a.sigmoid();
+        assert!(s.data()[0] < 1e-6);
+        assert!((s.data()[1] - 0.5).abs() < 1e-6);
+        assert!(s.data()[2] > 1.0 - 1e-6);
+        let th = a.tanh();
+        assert!((th.data()[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scalar_helpers() {
+        let a = t(&[1.0, 2.0], &[2]);
+        assert_eq!(a.add_scalar(1.0).data(), &[2.0, 3.0]);
+        assert_eq!(a.mul_scalar(3.0).data(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn exp_ln_round_trip() {
+        let a = t(&[0.5, 1.0, 2.0], &[3]);
+        let back = a.exp().ln();
+        for (x, y) in a.data().iter().zip(back.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn events_are_recorded_with_sparsity() {
+        let p = Profiler::new();
+        {
+            let _a = p.activate();
+            let a = t(&[-1.0, 2.0], &[2]);
+            let _r = a.relu();
+        }
+        let events = p.events();
+        let relu = events.iter().find(|e| e.name == "relu").unwrap();
+        assert_eq!(relu.category, OpCategory::VectorElementwise);
+        assert_eq!(relu.phase, Phase::Neural);
+        assert_eq!(relu.output_elems, 2);
+        assert_eq!(relu.output_nonzeros, 1);
+        assert_eq!(relu.flops, 2);
+        assert_eq!(relu.bytes_read, 8);
+        assert_eq!(relu.bytes_written, 8);
+    }
+
+    #[test]
+    fn no_events_without_profiler() {
+        let p = Profiler::new();
+        let a = t(&[1.0], &[1]);
+        let _r = a.relu(); // no active profiler
+        assert!(p.is_empty());
+    }
+}

@@ -1,0 +1,498 @@
+//! Dense matrix multiplication (`OpCategory::MatMul`).
+//!
+//! GEMM is the canonical compute-bound kernel of the neural phases: `2mnk`
+//! FLOPs over `(mk + kn + mn) × 4` bytes, so operational intensity grows
+//! with matrix size and clears GPU ridge points easily (Fig. 3c).
+
+use crate::dense::Tensor;
+use crate::error::TensorError;
+use crate::instrument::{nnz, run_op, ELEM};
+use crate::shape::Shape;
+use nsai_core::profile::OpMeta;
+use nsai_core::taxonomy::OpCategory;
+
+fn gemm_kernel(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    // i-k-j loop order: streams B rows, keeps the accumulator row hot.
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for j in 0..n {
+                o_row[j] += aip * b_row[j];
+            }
+        }
+    }
+    out
+}
+
+fn gemm_meta(out: &Tensor, m: usize, k: usize, n: usize) -> OpMeta {
+    OpMeta::new()
+        .flops(2 * (m * k * n) as u64)
+        .bytes_read(((m * k + k * n) as u64) * ELEM)
+        .bytes_written((m * n) as u64 * ELEM)
+        .output_elems(out.numel() as u64)
+        .output_nonzeros(nnz(out.data()))
+}
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors: `[m,k] × [k,n] → [m,n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices and
+    /// [`TensorError::ShapeMismatch`] when inner dimensions differ.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        if other.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: other.rank(),
+            });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        Ok(run_op(
+            "sgemm",
+            OpCategory::MatMul,
+            || {
+                let data = gemm_kernel(self.data(), other.data(), m, k, n);
+                Tensor::from_vec_unchecked(data, Shape::new(&[m, n]))
+            },
+            |out| gemm_meta(out, m, k, n),
+        ))
+    }
+
+    /// Fused transposed-B matrix product: `A[m,k] × Bᵀ where B is [n,k]`,
+    /// yielding `[m,n]` without materializing the transpose. This is the
+    /// natural kernel for `x·Wᵀ` linear layers (both operands are read
+    /// row-major).
+    ///
+    /// # Errors
+    ///
+    /// Returns rank/shape errors when operands are not matrices with
+    /// matching inner dimension `k`.
+    pub fn matmul_bt(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        if self.rank() != 2 || other.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul_bt",
+                expected: 2,
+                actual: if self.rank() != 2 {
+                    self.rank()
+                } else {
+                    other.rank()
+                },
+            });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (n, k2) = (other.dims()[0], other.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_bt",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        Ok(run_op(
+            "sgemm_nt",
+            OpCategory::MatMul,
+            || {
+                let mut out = vec![0.0f32; m * n];
+                for (i, o_row) in out.chunks_mut(n).enumerate() {
+                    let a_row = &self.data()[i * k..(i + 1) * k];
+                    for (j, slot) in o_row.iter_mut().enumerate() {
+                        let b_row = &other.data()[j * k..(j + 1) * k];
+                        *slot = a_row.iter().zip(b_row).map(|(a, b)| a * b).sum::<f32>();
+                    }
+                }
+                Tensor::from_vec_unchecked(out, Shape::new(&[m, n]))
+            },
+            |out| gemm_meta(out, m, k, n),
+        ))
+    }
+
+    /// Fused transposed-A matrix product: `Aᵀ × B where A is [k,m] and B
+    /// is [k,n]`, yielding `[m,n]` — the weight-gradient kernel
+    /// (`gradᵀ·x`) of linear layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns rank/shape errors when operands are not matrices with
+    /// matching leading dimension `k`.
+    pub fn matmul_at(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        if self.rank() != 2 || other.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul_at",
+                expected: 2,
+                actual: if self.rank() != 2 {
+                    self.rank()
+                } else {
+                    other.rank()
+                },
+            });
+        }
+        let (k, m) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_at",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        Ok(run_op(
+            "sgemm_tn",
+            OpCategory::MatMul,
+            || {
+                let mut out = vec![0.0f32; m * n];
+                for p in 0..k {
+                    let a_row = &self.data()[p * m..(p + 1) * m];
+                    let b_row = &other.data()[p * n..(p + 1) * n];
+                    for (i, &aip) in a_row.iter().enumerate() {
+                        if aip == 0.0 {
+                            continue;
+                        }
+                        let o_row = &mut out[i * n..(i + 1) * n];
+                        for j in 0..n {
+                            o_row[j] += aip * b_row[j];
+                        }
+                    }
+                }
+                Tensor::from_vec_unchecked(out, Shape::new(&[m, n]))
+            },
+            |out| gemm_meta(out, m, k, n),
+        ))
+    }
+
+    /// Matrix–vector product: `[m,k] × [k] → [m]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns rank/shape errors analogous to [`Tensor::matmul`].
+    pub fn matvec(&self, v: &Tensor) -> Result<Tensor, TensorError> {
+        if self.rank() != 2 || v.rank() != 1 {
+            return Err(TensorError::RankMismatch {
+                op: "matvec",
+                expected: 2,
+                actual: self.rank().min(v.rank()),
+            });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        if v.dims()[0] != k {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.dims().to_vec(),
+                rhs: v.dims().to_vec(),
+            });
+        }
+        Ok(run_op(
+            "sgemv",
+            OpCategory::MatMul,
+            || {
+                let mut out = vec![0.0f32; m];
+                for (i, slot) in out.iter_mut().enumerate() {
+                    let row = &self.data()[i * k..(i + 1) * k];
+                    *slot = row.iter().zip(v.data()).map(|(a, b)| a * b).sum();
+                }
+                Tensor::from_vec_unchecked(out, Shape::new(&[m]))
+            },
+            |out| {
+                OpMeta::new()
+                    .flops(2 * (m * k) as u64)
+                    .bytes_read(((m * k + k) as u64) * ELEM)
+                    .bytes_written(m as u64 * ELEM)
+                    .output_elems(m as u64)
+                    .output_nonzeros(nnz(out.data()))
+            },
+        ))
+    }
+
+    /// Batched matrix product: `[b,m,k] × [b,k,n] → [b,m,n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns rank/shape errors when operands are not rank-3 with matching
+    /// batch and inner dimensions.
+    pub fn bmm(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        if self.rank() != 3 || other.rank() != 3 {
+            return Err(TensorError::RankMismatch {
+                op: "bmm",
+                expected: 3,
+                actual: if self.rank() != 3 {
+                    self.rank()
+                } else {
+                    other.rank()
+                },
+            });
+        }
+        let (b, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
+        let (b2, k2, n) = (other.dims()[0], other.dims()[1], other.dims()[2]);
+        if b != b2 || k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "bmm",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        Ok(run_op(
+            "bmm",
+            OpCategory::MatMul,
+            || {
+                let mut data = Vec::with_capacity(b * m * n);
+                for batch in 0..b {
+                    let a_slab = &self.data()[batch * m * k..(batch + 1) * m * k];
+                    let b_slab = &other.data()[batch * k * n..(batch + 1) * k * n];
+                    data.extend(gemm_kernel(a_slab, b_slab, m, k, n));
+                }
+                Tensor::from_vec_unchecked(data, Shape::new(&[b, m, n]))
+            },
+            |out| {
+                OpMeta::new()
+                    .flops(2 * (b * m * k * n) as u64)
+                    .bytes_read(((b * (m * k + k * n)) as u64) * ELEM)
+                    .bytes_written((b * m * n) as u64 * ELEM)
+                    .output_elems(out.numel() as u64)
+                    .output_nonzeros(nnz(out.data()))
+            },
+        ))
+    }
+
+    /// Outer product of two vectors: `[m] ⊗ [n] → [m,n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless both operands are
+    /// rank-1.
+    pub fn outer(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        if self.rank() != 1 || other.rank() != 1 {
+            return Err(TensorError::RankMismatch {
+                op: "outer",
+                expected: 1,
+                actual: self.rank().max(other.rank()),
+            });
+        }
+        let (m, n) = (self.numel(), other.numel());
+        Ok(run_op(
+            "outer",
+            OpCategory::MatMul,
+            || {
+                let mut data = Vec::with_capacity(m * n);
+                for a in self.data() {
+                    for b in other.data() {
+                        data.push(a * b);
+                    }
+                }
+                Tensor::from_vec_unchecked(data, Shape::new(&[m, n]))
+            },
+            |out| {
+                OpMeta::new()
+                    .flops((m * n) as u64)
+                    .bytes_read(((m + n) as u64) * ELEM)
+                    .bytes_written((m * n) as u64 * ELEM)
+                    .output_elems(out.numel() as u64)
+                    .output_nonzeros(nnz(out.data()))
+            },
+        ))
+    }
+
+    /// Dot product of two equal-length vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for non-vectors or mismatched lengths.
+    pub fn dot(&self, other: &Tensor) -> Result<f32, TensorError> {
+        if self.rank() != 1 || other.rank() != 1 {
+            return Err(TensorError::RankMismatch {
+                op: "dot",
+                expected: 1,
+                actual: self.rank().max(other.rank()),
+            });
+        }
+        if self.numel() != other.numel() {
+            return Err(TensorError::ShapeMismatch {
+                op: "dot",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let n = self.numel();
+        Ok(run_op(
+            "dot",
+            OpCategory::MatMul,
+            || {
+                self.data()
+                    .iter()
+                    .zip(other.data())
+                    .map(|(a, b)| a * b)
+                    .sum::<f32>()
+            },
+            |_| {
+                OpMeta::new()
+                    .flops(2 * n as u64)
+                    .bytes_read(2 * n as u64 * ELEM)
+                    .bytes_written(ELEM)
+                    .output_elems(1)
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsai_core::Profiler;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_against_naive_reference() {
+        let m = 13;
+        let k = 7;
+        let n = 11;
+        let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, 1);
+        let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, 2);
+        let c = a.matmul(&b).unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a.data()[i * k + p] * b.data()[p * n + j];
+                }
+                assert!((c.data()[i * n + j] - acc).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::rand_uniform(&[4, 4], -1.0, 1.0, 3);
+        let c = a.matmul(&Tensor::eye(4)).unwrap();
+        assert_eq!(c.data(), a.data());
+    }
+
+    #[test]
+    fn matmul_validates_shapes() {
+        let a = t(&[1.0; 6], &[2, 3]);
+        let b = t(&[1.0; 6], &[2, 3]);
+        assert!(a.matmul(&b).is_err());
+        let v = t(&[1.0; 3], &[3]);
+        assert!(v.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::rand_uniform(&[5, 4], -1.0, 1.0, 4);
+        let v = Tensor::rand_uniform(&[4], -1.0, 1.0, 5);
+        let mv = a.matvec(&v).unwrap();
+        let v_col = t(v.data(), &[4, 1]);
+        let mm = a.matmul(&v_col).unwrap();
+        for (x, y) in mv.data().iter().zip(mm.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn bmm_independent_batches() {
+        let a = Tensor::rand_uniform(&[3, 2, 4], -1.0, 1.0, 6);
+        let b = Tensor::rand_uniform(&[3, 4, 5], -1.0, 1.0, 7);
+        let c = a.bmm(&b).unwrap();
+        assert_eq!(c.dims(), &[3, 2, 5]);
+        // Batch 1 equals standalone matmul of its slices.
+        let a1 = t(&a.data()[8..16], &[2, 4]);
+        let b1 = t(&b.data()[20..40], &[4, 5]);
+        let c1 = a1.matmul(&b1).unwrap();
+        assert_eq!(&c.data()[10..20], c1.data());
+    }
+
+    #[test]
+    fn bmm_validates_batch_dims() {
+        let a = Tensor::zeros(&[2, 2, 2]);
+        let b = Tensor::zeros(&[3, 2, 2]);
+        assert!(a.bmm(&b).is_err());
+    }
+
+    #[test]
+    fn outer_and_dot() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let b = t(&[3.0, 4.0, 5.0], &[3]);
+        let o = a.outer(&b).unwrap();
+        assert_eq!(o.dims(), &[2, 3]);
+        assert_eq!(o.data(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+        let c = t(&[3.0, 4.0], &[2]);
+        assert_eq!(a.dot(&c).unwrap(), 11.0);
+        assert!(a.dot(&b).is_err());
+    }
+
+    #[test]
+    fn matmul_bt_matches_explicit_transpose() {
+        let a = Tensor::rand_uniform(&[5, 3], -1.0, 1.0, 30);
+        let b = Tensor::rand_uniform(&[4, 3], -1.0, 1.0, 31);
+        let fused = a.matmul_bt(&b).unwrap();
+        let explicit = a.matmul(&b.transpose().unwrap()).unwrap();
+        assert_eq!(fused.dims(), &[5, 4]);
+        for (x, y) in fused.data().iter().zip(explicit.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+        assert!(a.matmul_bt(&Tensor::zeros(&[4, 2])).is_err());
+    }
+
+    #[test]
+    fn matmul_at_matches_explicit_transpose() {
+        let a = Tensor::rand_uniform(&[3, 5], -1.0, 1.0, 32);
+        let b = Tensor::rand_uniform(&[3, 4], -1.0, 1.0, 33);
+        let fused = a.matmul_at(&b).unwrap();
+        let explicit = a.transpose().unwrap().matmul(&b).unwrap();
+        assert_eq!(fused.dims(), &[5, 4]);
+        for (x, y) in fused.data().iter().zip(explicit.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+        assert!(a.matmul_at(&Tensor::zeros(&[4, 2])).is_err());
+    }
+
+    #[test]
+    fn gemm_flop_accounting() {
+        let p = Profiler::new();
+        {
+            let _g = p.activate();
+            let a = Tensor::ones(&[8, 16]);
+            let b = Tensor::ones(&[16, 4]);
+            let _ = a.matmul(&b).unwrap();
+        }
+        let e = &p.events()[0];
+        assert_eq!(e.name, "sgemm");
+        assert_eq!(e.flops, 2 * 8 * 16 * 4);
+        assert_eq!(e.bytes_read, (8 * 16 + 16 * 4) * 4);
+        assert_eq!(e.bytes_written, 8 * 4 * 4);
+        // High operational intensity relative to elementwise.
+        assert!(e.operational_intensity().unwrap() > 1.0);
+    }
+}

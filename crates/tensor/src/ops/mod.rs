@@ -1,0 +1,18 @@
+//! Instrumented tensor operators, grouped by the paper's Sec. IV-B
+//! categories:
+//!
+//! - [`elementwise`] — vector/element-wise tensor operations.
+//! - [`matmul`] — dense matrix multiplication (GEMM, GEMV, batched).
+//! - [`conv`] — 2-D convolution and pooling.
+//! - [`reduce`] — reductions, softmax, argmax.
+//! - [`transform`] — data transformation: transpose, reshape, concat,
+//!   gather, masked select, padding.
+//! - [`movement`] — data movement: duplication, assignment, simulated
+//!   host/device transfers.
+
+pub mod conv;
+pub mod elementwise;
+pub mod matmul;
+pub mod movement;
+pub mod reduce;
+pub mod transform;

@@ -1,0 +1,255 @@
+//! Shapes, row-major strides, and NumPy-style broadcasting.
+
+use crate::error::TensorError;
+use std::fmt;
+
+/// A tensor shape: dimension sizes in row-major order.
+///
+/// The empty shape `[]` denotes a scalar with one element.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Create a shape from dimension sizes.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of dims; 1 for scalars).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> Result<usize, TensorError> {
+        self.0
+            .get(axis)
+            .copied()
+            .ok_or(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            })
+    }
+
+    /// Row-major (C-order) strides in *elements*.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flat row-major offset of a multi-index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the index rank differs from the shape rank or a
+    /// coordinate exceeds its dimension.
+    pub fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
+        if index.len() != self.rank() {
+            return Err(TensorError::RankMismatch {
+                op: "offset",
+                expected: self.rank(),
+                actual: index.len(),
+            });
+        }
+        let strides = self.strides();
+        let mut off = 0usize;
+        for (axis, (&i, (&d, &s))) in index
+            .iter()
+            .zip(self.0.iter().zip(strides.iter()))
+            .enumerate()
+        {
+            if i >= d {
+                return Err(TensorError::IndexOutOfBounds { index: i, bound: d });
+            }
+            let _ = axis;
+            off += i * s;
+        }
+        Ok(off)
+    }
+
+    /// NumPy-style broadcast of two shapes.
+    ///
+    /// Dimensions are aligned from the trailing edge; a dimension broadcasts
+    /// against an equal dimension or against 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when any aligned pair is
+    /// incompatible.
+    pub fn broadcast(&self, other: &Shape) -> Result<Shape, TensorError> {
+        let rank = self.rank().max(other.rank());
+        let mut out = vec![0usize; rank];
+        for (i, slot) in out.iter_mut().enumerate() {
+            let a = if i < rank - self.rank() {
+                1
+            } else {
+                self.0[i - (rank - self.rank())]
+            };
+            let b = if i < rank - other.rank() {
+                1
+            } else {
+                other.0[i - (rank - other.rank())]
+            };
+            *slot = if a == b || b == 1 {
+                a
+            } else if a == 1 {
+                b
+            } else {
+                return Err(TensorError::ShapeMismatch {
+                    op: "broadcast",
+                    lhs: self.0.clone(),
+                    rhs: other.0.clone(),
+                });
+            };
+        }
+        Ok(Shape(out))
+    }
+
+    /// Iterate all multi-indices of this shape in row-major order.
+    pub fn indices(&self) -> IndexIter {
+        IndexIter {
+            shape: self.0.clone(),
+            next: if self.numel() == 0 {
+                None
+            } else {
+                Some(vec![0; self.0.len()])
+            },
+        }
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+/// Iterator over all multi-indices of a shape, row-major.
+#[derive(Debug, Clone)]
+pub struct IndexIter {
+    shape: Vec<usize>,
+    next: Option<Vec<usize>>,
+}
+
+impl Iterator for IndexIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let current = self.next.clone()?;
+        // Advance odometer from the last axis.
+        let mut idx = current.clone();
+        let mut axis = self.shape.len();
+        loop {
+            if axis == 0 {
+                self.next = None;
+                break;
+            }
+            axis -= 1;
+            idx[axis] += 1;
+            if idx[axis] < self.shape[axis] {
+                self.next = Some(idx);
+                break;
+            }
+            idx[axis] = 0;
+        }
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(Shape::new(&[]).numel(), 1);
+    }
+
+    #[test]
+    fn row_major_strides() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert!(Shape::new(&[]).strides().is_empty());
+    }
+
+    #[test]
+    fn offset_math() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]).unwrap(), 0);
+        assert_eq!(s.offset(&[1, 2, 3]).unwrap(), 23);
+        assert_eq!(s.offset(&[1, 0, 2]).unwrap(), 14);
+        assert!(s.offset(&[0, 3, 0]).is_err());
+        assert!(s.offset(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn broadcasting_rules() {
+        let a = Shape::new(&[3, 1, 5]);
+        let b = Shape::new(&[4, 5]);
+        assert_eq!(a.broadcast(&b).unwrap(), Shape::new(&[3, 4, 5]));
+        let s = Shape::new(&[]);
+        assert_eq!(s.broadcast(&b).unwrap(), b);
+        assert!(Shape::new(&[2]).broadcast(&Shape::new(&[3])).is_err());
+    }
+
+    #[test]
+    fn broadcast_is_symmetric() {
+        let a = Shape::new(&[1, 7]);
+        let b = Shape::new(&[6, 1]);
+        assert_eq!(a.broadcast(&b).unwrap(), b.broadcast(&a).unwrap());
+    }
+
+    #[test]
+    fn index_iteration_is_row_major() {
+        let s = Shape::new(&[2, 2]);
+        let idx: Vec<Vec<usize>> = s.indices().collect();
+        assert_eq!(idx, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+    }
+
+    #[test]
+    fn index_iteration_counts_match_numel() {
+        let s = Shape::new(&[3, 4, 2]);
+        assert_eq!(s.indices().count(), 24);
+        let scalar = Shape::new(&[]);
+        assert_eq!(scalar.indices().count(), 1);
+    }
+
+    #[test]
+    fn zero_sized_shape_yields_no_indices() {
+        let s = Shape::new(&[2, 0, 3]);
+        assert_eq!(s.numel(), 0);
+        assert_eq!(s.indices().count(), 0);
+    }
+}

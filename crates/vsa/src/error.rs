@@ -1,0 +1,82 @@
+//! VSA error type.
+
+use nsai_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced by the VSA substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VsaError {
+    /// Two hypervectors use different VSA models.
+    ModelMismatch {
+        /// Model of the left operand.
+        lhs: &'static str,
+        /// Model of the right operand.
+        rhs: &'static str,
+    },
+    /// Two hypervectors have different dimensionality.
+    DimensionMismatch {
+        /// Dimension of the left operand.
+        lhs: usize,
+        /// Dimension of the right operand.
+        rhs: usize,
+    },
+    /// A codebook lookup used an unknown symbol.
+    UnknownSymbol(String),
+    /// A cleanup/factorization was attempted against an empty codebook.
+    EmptyCodebook,
+    /// An invalid parameter (zero dimension, non-power-of-two HRR size...).
+    InvalidArgument(String),
+    /// An underlying tensor kernel failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for VsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VsaError::ModelMismatch { lhs, rhs } => {
+                write!(f, "hypervector model mismatch: {lhs} vs {rhs}")
+            }
+            VsaError::DimensionMismatch { lhs, rhs } => {
+                write!(f, "hypervector dimension mismatch: {lhs} vs {rhs}")
+            }
+            VsaError::UnknownSymbol(s) => write!(f, "unknown codebook symbol `{s}`"),
+            VsaError::EmptyCodebook => write!(f, "operation requires a non-empty codebook"),
+            VsaError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            VsaError::Tensor(e) => write!(f, "tensor kernel failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VsaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VsaError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for VsaError {
+    fn from(e: TensorError) -> Self {
+        VsaError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = VsaError::DimensionMismatch { lhs: 8, rhs: 16 };
+        assert!(e.to_string().contains("8 vs 16"));
+        let t = VsaError::from(TensorError::InvalidArgument("x".into()));
+        assert!(std::error::Error::source(&t).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VsaError>();
+    }
+}

@@ -1,0 +1,46 @@
+//! # nsai-vsa
+//!
+//! Vector-symbolic architecture (VSA) substrate: hypervectors, binding,
+//! bundling, permutation, codebooks with cleanup memories, resonator-network
+//! factorization, and locality-sensitive hashing.
+//!
+//! These are the "Mul, Add, and Circular Conv." operations of Tab. II — the
+//! algebra NVSA uses for probabilistic abductive reasoning and VSAIT uses
+//! for semantic-flipping-free image translation. All kernels bottom out in
+//! instrumented `nsai-tensor` operators, so a profiled VSA workload shows
+//! the memory-bound vector/element-wise mix of Fig. 3.
+//!
+//! Two models are provided:
+//!
+//! - [`VsaModel::Bipolar`] (MAP): elements in {−1, +1}; binding is the
+//!   Hadamard product (self-inverse), bundling is sign-of-sum.
+//! - [`VsaModel::Hrr`] (holographic reduced representations): real
+//!   Gaussian elements; binding is circular convolution, unbinding is
+//!   circular correlation.
+//!
+//! ```
+//! use nsai_vsa::{Hypervector, VsaModel};
+//!
+//! let d = 1024;
+//! let color = Hypervector::random(VsaModel::Bipolar, d, 1);
+//! let red = Hypervector::random(VsaModel::Bipolar, d, 2);
+//! let bound = color.bind(&red)?;
+//! let recovered = bound.unbind(&color)?;
+//! assert!(recovered.similarity(&red)? > 0.9);
+//! # Ok::<(), nsai_vsa::VsaError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod codebook;
+pub mod error;
+pub mod hv;
+pub mod lsh;
+pub mod resonator;
+
+pub use codebook::Codebook;
+pub use error::VsaError;
+pub use hv::{Hypervector, VsaModel};
+pub use lsh::LshEncoder;
+pub use resonator::Resonator;

@@ -1,0 +1,236 @@
+//! Resonator-network factorization of bound hypervector products.
+//!
+//! Given a composite `s = x ⊛ y ⊛ z` where each factor comes from a known
+//! codebook, a resonator network recovers the factors by iterating, for
+//! each factor, an *unbind → cleanup-superposition → re-quantize* step
+//! using the current estimates of the other factors. This is the core
+//! engine behind NVSA's neural-frontend inference of factored object
+//! attributes, and the workload for heterogeneous in-memory factorization
+//! accelerators cited by the paper (H3DFACT).
+//!
+//! Implemented for the bipolar model, where binding is self-inverse.
+
+use crate::codebook::Codebook;
+use crate::error::VsaError;
+use crate::hv::{Hypervector, VsaModel};
+
+/// Outcome of a factorization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Factorization {
+    /// Per-factor index of the decoded codebook entry.
+    pub indices: Vec<usize>,
+    /// Per-factor similarity of the final estimate to the decoded entry.
+    pub confidences: Vec<f32>,
+    /// Iterations executed before convergence (or the limit).
+    pub iterations: usize,
+    /// Whether the estimates converged before the iteration limit.
+    pub converged: bool,
+}
+
+/// A resonator network over a fixed set of factor codebooks.
+#[derive(Debug, Clone)]
+pub struct Resonator<'a> {
+    codebooks: Vec<&'a Codebook>,
+    max_iterations: usize,
+}
+
+impl<'a> Resonator<'a> {
+    /// Build a resonator over one codebook per factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VsaError::InvalidArgument`] unless at least two bipolar
+    /// codebooks of equal dimension are supplied.
+    pub fn new(codebooks: Vec<&'a Codebook>, max_iterations: usize) -> Result<Self, VsaError> {
+        if codebooks.len() < 2 {
+            return Err(VsaError::InvalidArgument(
+                "resonator needs at least two factors".into(),
+            ));
+        }
+        let dim = codebooks[0].dim();
+        for cb in &codebooks {
+            if cb.model() != VsaModel::Bipolar {
+                return Err(VsaError::InvalidArgument(
+                    "resonator is implemented for the bipolar model".into(),
+                ));
+            }
+            if cb.dim() != dim {
+                return Err(VsaError::DimensionMismatch {
+                    lhs: dim,
+                    rhs: cb.dim(),
+                });
+            }
+            if cb.is_empty() {
+                return Err(VsaError::EmptyCodebook);
+            }
+        }
+        Ok(Resonator {
+            codebooks,
+            max_iterations,
+        })
+    }
+
+    /// Factorize a composite vector into one entry per codebook.
+    ///
+    /// # Errors
+    ///
+    /// Returns compatibility errors when `composite` does not match the
+    /// codebooks' model/dimension.
+    pub fn factorize(&self, composite: &Hypervector) -> Result<Factorization, VsaError> {
+        let n = self.codebooks.len();
+        // Initialize each estimate as the bundle of its whole codebook
+        // (maximum superposition = maximum uncertainty).
+        let mut estimates: Vec<Hypervector> = Vec::with_capacity(n);
+        for cb in &self.codebooks {
+            let refs: Vec<&Hypervector> = (0..cb.len())
+                .map(|i| cb.at(i).expect("index within len"))
+                .collect();
+            estimates.push(Hypervector::bundle(&refs)?);
+        }
+        let mut iterations = 0usize;
+        let mut converged = false;
+        while iterations < self.max_iterations {
+            iterations += 1;
+            let mut changed = false;
+            for f in 0..n {
+                // Unbind all other current estimates from the composite.
+                let mut residual = composite.clone();
+                for (g, est) in estimates.iter().enumerate() {
+                    if g != f {
+                        residual = residual.unbind(est)?;
+                    }
+                }
+                // Project through the codebook: weighted superposition of
+                // entries by (signed) similarity, then re-quantize.
+                let cb = self.codebooks[f];
+                let mut weights = Vec::with_capacity(cb.len());
+                for i in 0..cb.len() {
+                    weights.push(residual.similarity(cb.at(i)?)?);
+                }
+                let entries: Vec<&Hypervector> =
+                    (0..cb.len()).map(|i| cb.at(i).expect("in range")).collect();
+                let projected = Hypervector::weighted_superpose(&entries, &weights)?;
+                let quantized = Hypervector::from_tensor(
+                    VsaModel::Bipolar,
+                    sign_with_tiebreak(projected.as_tensor()),
+                )?;
+                if quantized.similarity(&estimates[f])? < 0.999 {
+                    changed = true;
+                }
+                estimates[f] = quantized;
+            }
+            if !changed {
+                converged = true;
+                break;
+            }
+        }
+        // Decode each final estimate against its codebook.
+        let mut indices = Vec::with_capacity(n);
+        let mut confidences = Vec::with_capacity(n);
+        for (f, est) in estimates.iter().enumerate() {
+            let (idx, sim) = self.codebooks[f].cleanup(est)?;
+            indices.push(idx);
+            confidences.push(sim);
+        }
+        Ok(Factorization {
+            indices,
+            confidences,
+            iterations,
+            converged,
+        })
+    }
+}
+
+fn sign_with_tiebreak(t: &nsai_tensor::Tensor) -> nsai_tensor::Tensor {
+    let signed = t.sign();
+    let zero_mask = signed.abs().neg().add_scalar(1.0);
+    signed.add(&zero_mask).expect("shapes match")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D: usize = 2048;
+
+    fn books() -> (Codebook, Codebook, Codebook) {
+        (
+            Codebook::generate(
+                "type",
+                VsaModel::Bipolar,
+                D,
+                &["circle", "square", "star"],
+                1,
+            ),
+            Codebook::generate(
+                "size",
+                VsaModel::Bipolar,
+                D,
+                &["small", "medium", "large"],
+                100,
+            ),
+            Codebook::generate(
+                "color",
+                VsaModel::Bipolar,
+                D,
+                &["red", "green", "blue"],
+                200,
+            ),
+        )
+    }
+
+    #[test]
+    fn factorizes_clean_composite() {
+        let (a, b, c) = books();
+        let composite = a
+            .get("square")
+            .unwrap()
+            .bind(b.get("large").unwrap())
+            .unwrap()
+            .bind(c.get("red").unwrap())
+            .unwrap();
+        let resonator = Resonator::new(vec![&a, &b, &c], 50).unwrap();
+        let result = resonator.factorize(&composite).unwrap();
+        assert_eq!(result.indices, vec![1, 2, 0]);
+        assert!(
+            result.converged,
+            "did not converge in {} iters",
+            result.iterations
+        );
+        assert!(result.confidences.iter().all(|c| *c > 0.9));
+    }
+
+    #[test]
+    fn factorizes_two_factor_composite() {
+        let (a, b, _) = books();
+        let composite = a
+            .get("circle")
+            .unwrap()
+            .bind(b.get("small").unwrap())
+            .unwrap();
+        let resonator = Resonator::new(vec![&a, &b], 50).unwrap();
+        let result = resonator.factorize(&composite).unwrap();
+        assert_eq!(result.indices, vec![0, 0]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configurations() {
+        let (a, _, _) = books();
+        assert!(Resonator::new(vec![&a], 10).is_err());
+        let hrr = Codebook::generate("h", VsaModel::Hrr, D, &["x"], 1);
+        assert!(Resonator::new(vec![&a, &hrr], 10).is_err());
+        let small = Codebook::generate("s", VsaModel::Bipolar, 64, &["x"], 1);
+        assert!(Resonator::new(vec![&a, &small], 10).is_err());
+        let empty = Codebook::generate("e", VsaModel::Bipolar, D, &[], 1);
+        assert!(Resonator::new(vec![&a, &empty], 10).is_err());
+    }
+
+    #[test]
+    fn iteration_limit_is_respected() {
+        let (a, b, c) = books();
+        let noise = Hypervector::random(VsaModel::Bipolar, D, 31_337);
+        let resonator = Resonator::new(vec![&a, &b, &c], 3).unwrap();
+        let result = resonator.factorize(&noise).unwrap();
+        assert!(result.iterations <= 3);
+    }
+}

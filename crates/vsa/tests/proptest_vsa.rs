@@ -1,0 +1,96 @@
+//! Property-based tests of the VSA algebra invariants.
+
+use nsai_vsa::{Codebook, Hypervector, VsaModel};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn bipolar_unbind_inverts_bind_exactly(seed_a in 0u64..10_000, seed_b in 10_000u64..20_000) {
+        let a = Hypervector::random(VsaModel::Bipolar, 512, seed_a);
+        let b = Hypervector::random(VsaModel::Bipolar, 512, seed_b);
+        let recovered = a.bind(&b).unwrap().unbind(&a).unwrap();
+        let sim = recovered.similarity(&b).unwrap();
+        prop_assert!((sim - 1.0).abs() < 1e-5, "sim {sim}");
+    }
+
+    #[test]
+    fn similarity_is_bounded_and_symmetric(seed_a in 0u64..10_000, seed_b in 0u64..10_000) {
+        let a = Hypervector::random(VsaModel::Bipolar, 256, seed_a);
+        let b = Hypervector::random(VsaModel::Bipolar, 256, seed_b);
+        let ab = a.similarity(&b).unwrap();
+        let ba = b.similarity(&a).unwrap();
+        prop_assert!((-1.0..=1.0).contains(&ab));
+        prop_assert!((ab - ba).abs() < 1e-6);
+    }
+
+    #[test]
+    fn binding_is_commutative(seed in 0u64..10_000) {
+        for model in [VsaModel::Bipolar, VsaModel::Hrr] {
+            let a = Hypervector::random(model, 256, seed);
+            let b = Hypervector::random(model, 256, seed + 77);
+            let ab = a.bind(&b).unwrap();
+            let ba = b.bind(&a).unwrap();
+            let sim = ab.similarity(&ba).unwrap();
+            prop_assert!(sim > 0.999, "{model:?}: {sim}");
+        }
+    }
+
+    #[test]
+    fn bundle_prefers_members_over_strangers(seed in 0u64..5_000, k in 2usize..8) {
+        let members: Vec<Hypervector> = (0..k)
+            .map(|i| Hypervector::random(VsaModel::Bipolar, 2048, seed * 31 + i as u64))
+            .collect();
+        let refs: Vec<&Hypervector> = members.iter().collect();
+        let bundle = Hypervector::bundle(&refs).unwrap();
+        let stranger = Hypervector::random(VsaModel::Bipolar, 2048, seed + 999_983);
+        let member_sim = bundle.similarity(&members[0]).unwrap();
+        let stranger_sim = bundle.similarity(&stranger).unwrap();
+        prop_assert!(member_sim > stranger_sim + 0.05,
+            "member {member_sim} vs stranger {stranger_sim} (k={k})");
+    }
+
+    #[test]
+    fn permutation_round_trips(seed in 0u64..10_000, k in 0usize..256) {
+        let a = Hypervector::random(VsaModel::Bipolar, 256, seed);
+        let back = a.permute(k).unwrap().permute(256 - (k % 256)).unwrap();
+        let sim = back.similarity(&a).unwrap();
+        prop_assert!((sim - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn conv_power_is_additive(seed in 0u64..5_000, a in 0usize..6, b in 0usize..6) {
+        let base = Hypervector::random_unitary(512, seed);
+        let lhs = base.conv_power(a).unwrap().bind(&base.conv_power(b).unwrap()).unwrap();
+        let rhs = base.conv_power(a + b).unwrap();
+        let sim = lhs.similarity(&rhs).unwrap();
+        prop_assert!(sim > 0.95, "powers {a}+{b}: sim {sim}");
+    }
+
+    #[test]
+    fn codebook_cleanup_is_exact_on_entries(seed in 0u64..5_000, idx in 0usize..5) {
+        let cb = Codebook::generate("p", VsaModel::Bipolar, 1024, &["a", "b", "c", "d", "e"], seed);
+        let (found, sim) = cb.cleanup(cb.at(idx).unwrap()).unwrap();
+        prop_assert_eq!(found, idx);
+        prop_assert!(sim > 0.999);
+    }
+
+    #[test]
+    fn pmf_encode_decode_preserves_argmax(seed in 0u64..2_000, hot in 0usize..6) {
+        let base = Hypervector::random_unitary(1024, seed);
+        let symbols: Vec<String> = (0..6).map(|i| i.to_string()).collect();
+        let refs: Vec<&str> = symbols.iter().map(String::as_str).collect();
+        let cb = Codebook::fractional_power("v", &base, 6, &refs).unwrap();
+        let mut pmf = vec![0.04f32; 6];
+        pmf[hot] = 0.8;
+        let decoded = cb.decode_pmf(&cb.encode_pmf(&pmf).unwrap()).unwrap();
+        let argmax = decoded
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        prop_assert_eq!(argmax, hot);
+    }
+}

@@ -1,0 +1,73 @@
+//! Workload error type.
+
+use nsai_logic::LogicError;
+use nsai_tensor::TensorError;
+use nsai_vsa::VsaError;
+use std::fmt;
+
+/// Errors produced by workload execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// A tensor kernel failed.
+    Tensor(TensorError),
+    /// A VSA operation failed.
+    Vsa(VsaError),
+    /// A logic operation failed.
+    Logic(LogicError),
+    /// Invalid workload configuration.
+    Config(String),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Tensor(e) => write!(f, "tensor kernel failed: {e}"),
+            WorkloadError::Vsa(e) => write!(f, "vsa operation failed: {e}"),
+            WorkloadError::Logic(e) => write!(f, "logic operation failed: {e}"),
+            WorkloadError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkloadError::Tensor(e) => Some(e),
+            WorkloadError::Vsa(e) => Some(e),
+            WorkloadError::Logic(e) => Some(e),
+            WorkloadError::Config(_) => None,
+        }
+    }
+}
+
+impl From<TensorError> for WorkloadError {
+    fn from(e: TensorError) -> Self {
+        WorkloadError::Tensor(e)
+    }
+}
+
+impl From<VsaError> for WorkloadError {
+    fn from(e: VsaError) -> Self {
+        WorkloadError::Vsa(e)
+    }
+}
+
+impl From<LogicError> for WorkloadError {
+    fn from(e: LogicError) -> Self {
+        WorkloadError::Logic(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_source() {
+        let e: WorkloadError = TensorError::InvalidArgument("x".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+        let c = WorkloadError::Config("bad".into());
+        assert!(std::error::Error::source(&c).is_none());
+        assert!(c.to_string().contains("bad"));
+    }
+}

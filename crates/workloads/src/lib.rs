@@ -1,0 +1,68 @@
+//! # nsai-workloads
+//!
+//! The seven representative neuro-symbolic workloads of the ISPASS 2024
+//! characterization (Tab. III), implemented end to end on the workspace
+//! substrates and instrumented through `nsai-core`:
+//!
+//! | Workload | Category | Module |
+//! |---|---|---|
+//! | LNN — Logical Neural Network | Neuro:Symbolic→Neuro | [`lnn`] |
+//! | LTN — Logic Tensor Network | Neuro_Symbolic | [`ltn`] |
+//! | NVSA — Neuro-Vector-Symbolic Architecture | Neuro\|Symbolic | [`nvsa`] |
+//! | NLM — Neural Logic Machine | Neuro\\[Symbolic\\] | [`nlm`] |
+//! | VSAIT — VSA Image-to-Image Translation | Neuro\|Symbolic | [`vsait`] |
+//! | ZeroC — Zero-shot Concept Recognition | Neuro\\[Symbolic\\] | [`zeroc`] |
+//! | PrAE — Probabilistic Abduction & Execution | Neuro\|Symbolic | [`prae`] |
+//!
+//! Every workload implements [`Workload`]: `run` executes one end-to-end
+//! inference (plus whatever training its algorithm requires), bracketing
+//! neural work in `Phase::Neural` scopes and symbolic work in
+//! `Phase::Symbolic` scopes, so a single profiled run yields the per-phase
+//! per-category breakdowns of Figs. 2–3.
+//!
+//! ```
+//! use nsai_workloads::{Workload, vsait::{Vsait, VsaitConfig}};
+//! use nsai_core::Profiler;
+//!
+//! let mut workload = Vsait::new(VsaitConfig::small());
+//! let profiler = Profiler::new();
+//! let output = {
+//!     let _active = profiler.activate();
+//!     workload.run()?
+//! };
+//! let report = profiler.report_for(workload.name());
+//! assert!(report.event_count() > 0);
+//! assert!(output.metric("cycle_consistency").unwrap() > 0.9);
+//! # Ok::<(), nsai_workloads::WorkloadError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod lnn;
+pub mod ltn;
+pub mod nlm;
+pub mod nvsa;
+pub mod perception;
+pub mod prae;
+pub mod vsait;
+pub mod workload;
+pub mod zeroc;
+
+pub use error::WorkloadError;
+pub use workload::{Workload, WorkloadOutput};
+
+/// Construct all seven workloads with small default configurations —
+/// the set iterated by Fig. 2a / 3a / 3b / 3c harnesses.
+pub fn all_workloads_small() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(lnn::Lnn::new(lnn::LnnConfig::small())),
+        Box::new(ltn::Ltn::new(ltn::LtnConfig::small())),
+        Box::new(nvsa::Nvsa::new(nvsa::NvsaConfig::small())),
+        Box::new(nlm::Nlm::new(nlm::NlmConfig::small())),
+        Box::new(vsait::Vsait::new(vsait::VsaitConfig::small())),
+        Box::new(zeroc::ZeroC::new(zeroc::ZeroCConfig::small())),
+        Box::new(prae::Prae::new(prae::PraeConfig::small())),
+    ]
+}

@@ -1,0 +1,575 @@
+//! LNN — Logical Neural Network (Sec. III-B).
+//!
+//! LNN compiles logical formulas into a neuron graph with a one-to-one
+//! correspondence between neurons and logical connectives, carries
+//! `[lower, upper]` truth bounds instead of activations, and runs
+//! **bidirectional** (omnidirectional) inference: an *upward* pass
+//! evaluates each connective neuron from its children under Łukasiewicz
+//! semantics, and a *downward* pass tightens children's bounds from
+//! asserted formula truths. The upward pass is the neural component —
+//! batched gather/element-wise tensor work over the neuron arrays — and
+//! the downward pass plus theorem-prover queries form the symbolic
+//! component, with the bound arrays copied between passes (the
+//! bidirectional data movement the paper singles out for LNN).
+
+use crate::error::WorkloadError;
+use crate::workload::{Workload, WorkloadOutput};
+use nsai_core::profile::{self, phase_scope, OpMeta};
+use nsai_core::taxonomy::{NsCategory, OpCategory, Phase};
+use nsai_data::logic_kb::{lnn_theory, university_kb, FormulaTree, UniversityConfig};
+use nsai_logic::bounds::TruthBounds;
+use nsai_logic::kb::{KnowledgeBase, Rule};
+use nsai_logic::term::{Atom, Term};
+use nsai_tensor::Tensor;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// A neuron in the compiled graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Neuron {
+    /// Proposition leaf (index into the proposition table).
+    Leaf(usize),
+    Not(usize),
+    And(usize, usize),
+    Or(usize, usize),
+    Implies(usize, usize),
+}
+
+/// LNN configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LnnConfig {
+    /// Number of propositions in the theory.
+    pub propositions: usize,
+    /// Number of formula trees.
+    pub formulas: usize,
+    /// Maximum formula depth.
+    pub depth: usize,
+    /// Maximum inference iterations.
+    pub max_iterations: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl LnnConfig {
+    /// Small config used by the cross-workload harnesses.
+    pub fn small() -> Self {
+        LnnConfig {
+            propositions: 64,
+            formulas: 96,
+            depth: 6,
+            max_iterations: 12,
+            seed: 44,
+        }
+    }
+}
+
+/// The LNN workload.
+#[derive(Debug)]
+pub struct Lnn {
+    config: LnnConfig,
+    neurons: Vec<Neuron>,
+    /// Per-neuron Łukasiewicz weights `(w_left, w_right, beta)`. The
+    /// defaults `(1, 1, 1)` recover the unweighted connectives; lowering
+    /// an input weight makes the neuron tolerant to that input's
+    /// uncertainty — LNN's "weighted real-valued logic".
+    weights: Vec<(f32, f32, f32)>,
+    roots: Vec<usize>,
+    observations: Vec<(usize, f64)>,
+    leaf_of_prop: HashMap<usize, usize>,
+}
+
+impl Lnn {
+    /// Compile a random theory into the neuron graph.
+    pub fn new(config: LnnConfig) -> Self {
+        let theory = lnn_theory(
+            config.propositions,
+            config.formulas,
+            config.depth,
+            config.seed,
+        );
+        let mut neurons = Vec::new();
+        let mut leaf_of_prop: HashMap<usize, usize> = HashMap::new();
+        let mut roots = Vec::new();
+        for formula in &theory.formulas {
+            let root = compile(formula, &mut neurons, &mut leaf_of_prop);
+            roots.push(root);
+        }
+        let weights = vec![(1.0, 1.0, 1.0); neurons.len()];
+        Lnn {
+            config,
+            neurons,
+            weights,
+            roots,
+            observations: theory.observations,
+            leaf_of_prop,
+        }
+    }
+
+    /// Override one neuron's Łukasiewicz weights `(w_left, w_right, beta)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range ids or non-positive weights.
+    pub fn set_weights(&mut self, neuron: usize, w_left: f32, w_right: f32, beta: f32) {
+        assert!(neuron < self.neurons.len(), "neuron id out of range");
+        assert!(
+            w_left > 0.0 && w_right > 0.0 && beta > 0.0,
+            "weights must be positive"
+        );
+        self.weights[neuron] = (w_left, w_right, beta);
+    }
+
+    /// Number of neurons in the compiled graph.
+    pub fn neuron_count(&self) -> usize {
+        self.neurons.len()
+    }
+
+    /// Upward pass, batched per connective type with tensor kernels.
+    /// `lower`/`upper` are `[n, 1]` bound arrays. Returns the largest
+    /// bound change.
+    fn upward_pass(&self, lower: &mut Tensor, upper: &mut Tensor) -> Result<f32, WorkloadError> {
+        let _neural = phase_scope(Phase::Neural);
+        // Process in topological (construction) order so children are
+        // fresh; batch each connective kind.
+        let mut max_delta = 0.0f32;
+        for kind in ["not", "and", "or", "implies"] {
+            let mut ids = Vec::new();
+            let mut left = Vec::new();
+            let mut right = Vec::new();
+            for (i, n) in self.neurons.iter().enumerate() {
+                match (kind, n) {
+                    ("not", Neuron::Not(a)) => {
+                        ids.push(i);
+                        left.push(*a);
+                        right.push(*a);
+                    }
+                    ("and", Neuron::And(a, b))
+                    | ("or", Neuron::Or(a, b))
+                    | ("implies", Neuron::Implies(a, b))
+                        if matches!(
+                            (kind, n),
+                            ("and", Neuron::And(..))
+                                | ("or", Neuron::Or(..))
+                                | ("implies", Neuron::Implies(..))
+                        ) =>
+                    {
+                        ids.push(i);
+                        left.push(*a);
+                        right.push(*b);
+                    }
+                    _ => {}
+                }
+            }
+            if ids.is_empty() {
+                continue;
+            }
+            let l_lo = lower.gather_rows(&left)?;
+            let l_hi = upper.gather_rows(&left)?;
+            let r_lo = lower.gather_rows(&right)?;
+            let r_hi = upper.gather_rows(&right)?;
+            // Per-neuron weight columns for this batch.
+            let k = ids.len();
+            let w_l = Tensor::from_vec(ids.iter().map(|&i| self.weights[i].0).collect(), &[k, 1])?;
+            let w_r = Tensor::from_vec(ids.iter().map(|&i| self.weights[i].1).collect(), &[k, 1])?;
+            let beta = Tensor::from_vec(ids.iter().map(|&i| self.weights[i].2).collect(), &[k, 1])?;
+            // Weighted Łukasiewicz neurons (Riegel et al.):
+            //   AND_w(a, b) = clamp(β − w_l(1−a) − w_r(1−b))
+            //   OR_w(a, b)  = clamp(1 − β + w_l·a + w_r·b)
+            //   a →_w b     = clamp(1 − β + w_l(1−a) + w_r·b)
+            // Defaults (1, 1, 1) recover the unweighted forms.
+            let and_w = |a: &Tensor, b: &Tensor| -> Result<Tensor, WorkloadError> {
+                Ok(beta
+                    .sub(&w_l.mul(&a.neg().add_scalar(1.0))?)?
+                    .sub(&w_r.mul(&b.neg().add_scalar(1.0))?)?
+                    .clamp(0.0, 1.0))
+            };
+            let or_w = |a: &Tensor, b: &Tensor| -> Result<Tensor, WorkloadError> {
+                Ok(beta
+                    .neg()
+                    .add_scalar(1.0)
+                    .add(&w_l.mul(a)?)?
+                    .add(&w_r.mul(b)?)?
+                    .clamp(0.0, 1.0))
+            };
+            let implies_w = |a: &Tensor, b: &Tensor| -> Result<Tensor, WorkloadError> {
+                Ok(beta
+                    .neg()
+                    .add_scalar(1.0)
+                    .add(&w_l.mul(&a.neg().add_scalar(1.0))?)?
+                    .add(&w_r.mul(b)?)?
+                    .clamp(0.0, 1.0))
+            };
+            let (new_lo, new_hi) = match kind {
+                "not" => (l_hi.neg().add_scalar(1.0), l_lo.neg().add_scalar(1.0)),
+                "and" => (and_w(&l_lo, &r_lo)?, and_w(&l_hi, &r_hi)?),
+                "or" => (or_w(&l_lo, &r_lo)?, or_w(&l_hi, &r_hi)?),
+                // Implication is antitone in the antecedent: the lower
+                // bound uses the antecedent's upper bound and vice versa.
+                _ => (implies_w(&l_hi, &r_lo)?, implies_w(&l_lo, &r_hi)?),
+            };
+            // Scatter back, tracking convergence.
+            for (row, &id) in ids.iter().enumerate() {
+                let delta = (lower.data()[id] - new_lo.data()[row]).abs()
+                    + (upper.data()[id] - new_hi.data()[row]).abs();
+                if delta > max_delta {
+                    max_delta = delta;
+                }
+                lower.data_mut()[id] = new_lo.data()[row];
+                upper.data_mut()[id] = new_hi.data()[row];
+            }
+        }
+        Ok(max_delta)
+    }
+
+    /// Downward pass: assert each formula root true and tighten children.
+    /// Returns (contradictions, visited-node count).
+    fn downward_pass(&self, lower: &mut Tensor, upper: &mut Tensor) -> (usize, u64) {
+        let start = Instant::now();
+        let mut contradictions = 0usize;
+        let mut visited = 0u64;
+        // Bidirectional dataflow: the bound arrays are staged back from
+        // the neural pass before symbolic tightening (LNN's data-movement
+        // signature).
+        let _staged_lower = lower.duplicate();
+        let _staged_upper = upper.duplicate();
+
+        let get = |lower: &Tensor, upper: &Tensor, id: usize| {
+            TruthBounds::new(
+                lower.data()[id].clamp(0.0, 1.0) as f64,
+                upper.data()[id]
+                    .clamp(0.0, 1.0)
+                    .max(lower.data()[id].clamp(0.0, 1.0)) as f64,
+            )
+            .expect("clamped bounds are valid")
+        };
+        let set = |lower: &mut Tensor, upper: &mut Tensor, id: usize, b: TruthBounds| {
+            lower.data_mut()[id] = b.lower() as f32;
+            upper.data_mut()[id] = b.upper() as f32;
+        };
+
+        // Stack of (node, target bounds).
+        for &root in &self.roots {
+            let mut stack = vec![(root, TruthBounds::proven_true())];
+            while let Some((id, target)) = stack.pop() {
+                visited += 1;
+                let current = get(lower, upper, id);
+                let (tightened, contradiction) = current.tighten(&target);
+                if contradiction {
+                    contradictions += 1;
+                }
+                set(lower, upper, id, tightened);
+                match self.neurons[id] {
+                    Neuron::Leaf(_) => {}
+                    Neuron::Not(a) => {
+                        stack.push((a, tightened.negate()));
+                    }
+                    Neuron::And(a, b) => {
+                        let ba = get(lower, upper, a);
+                        let bb = get(lower, upper, b);
+                        stack.push((a, TruthBounds::and_down(&tightened, &bb)));
+                        stack.push((b, TruthBounds::and_down(&tightened, &ba)));
+                    }
+                    Neuron::Or(a, b) => {
+                        let ba = get(lower, upper, a);
+                        let bb = get(lower, upper, b);
+                        stack.push((a, TruthBounds::or_down(&tightened, &bb)));
+                        stack.push((b, TruthBounds::or_down(&tightened, &ba)));
+                    }
+                    Neuron::Implies(a, b) => {
+                        let ba = get(lower, upper, a);
+                        // Modus ponens tightens the consequent only; the
+                        // antecedent keeps its bounds.
+                        stack.push((b, TruthBounds::modus_ponens(&tightened, &ba)));
+                    }
+                }
+            }
+        }
+        profile::record(
+            "bound_tighten",
+            OpCategory::Other,
+            OpMeta::new()
+                .flops(visited * 4)
+                .bytes_read(visited * 16)
+                .bytes_written(visited * 8)
+                .output_elems(self.neurons.len() as u64),
+            start.elapsed(),
+        );
+        (contradictions, visited)
+    }
+
+    /// The theorem-prover side: chase a LUBM-flavoured KB with derivation
+    /// rules (run in the symbolic phase).
+    fn theorem_prover(&self) -> usize {
+        let uni = university_kb(
+            UniversityConfig {
+                departments: 1,
+                professors_per_dept: 2,
+                students_per_dept: 5,
+                courses_per_dept: 3,
+            },
+            self.config.seed,
+        );
+        let mut kb = KnowledgeBase::new();
+        for (p, e) in &uni.unary {
+            kb.add_fact(Atom::prop1(p.clone(), e.clone()));
+        }
+        for (p, s, o) in &uni.binary {
+            kb.add_fact(Atom::prop2(p.clone(), s.clone(), o.clone()));
+        }
+        // colleague(X, Y) :- works_for(X, D), works_for(Y, D).
+        kb.add_rule(Rule::new(
+            Atom::new("colleague", vec![Term::var("X"), Term::var("Y")]),
+            vec![
+                Atom::new("works_for", vec![Term::var("X"), Term::var("D")]),
+                Atom::new("works_for", vec![Term::var("Y"), Term::var("D")]),
+            ],
+        ));
+        // taught_by(S, P) :- enrolled(S, C), teaches(P, C).
+        kb.add_rule(Rule::new(
+            Atom::new("taught_by", vec![Term::var("S"), Term::var("P")]),
+            vec![
+                Atom::new("enrolled", vec![Term::var("S"), Term::var("C")]),
+                Atom::new("teaches", vec![Term::var("P"), Term::var("C")]),
+            ],
+        ));
+        kb.forward_chain(4).len()
+    }
+}
+
+/// Flatten a formula tree into the neuron array, sharing leaves.
+fn compile(
+    formula: &FormulaTree,
+    neurons: &mut Vec<Neuron>,
+    leaf_of_prop: &mut HashMap<usize, usize>,
+) -> usize {
+    match formula {
+        FormulaTree::Leaf(p) => *leaf_of_prop.entry(*p).or_insert_with(|| {
+            neurons.push(Neuron::Leaf(*p));
+            neurons.len() - 1
+        }),
+        FormulaTree::Not(a) => {
+            let ca = compile(a, neurons, leaf_of_prop);
+            neurons.push(Neuron::Not(ca));
+            neurons.len() - 1
+        }
+        FormulaTree::And(a, b) => {
+            let (ca, cb) = (
+                compile(a, neurons, leaf_of_prop),
+                compile(b, neurons, leaf_of_prop),
+            );
+            neurons.push(Neuron::And(ca, cb));
+            neurons.len() - 1
+        }
+        FormulaTree::Or(a, b) => {
+            let (ca, cb) = (
+                compile(a, neurons, leaf_of_prop),
+                compile(b, neurons, leaf_of_prop),
+            );
+            neurons.push(Neuron::Or(ca, cb));
+            neurons.len() - 1
+        }
+        FormulaTree::Implies(a, b) => {
+            let (ca, cb) = (
+                compile(a, neurons, leaf_of_prop),
+                compile(b, neurons, leaf_of_prop),
+            );
+            neurons.push(Neuron::Implies(ca, cb));
+            neurons.len() - 1
+        }
+    }
+}
+
+impl Workload for Lnn {
+    fn name(&self) -> &'static str {
+        "lnn"
+    }
+
+    fn category(&self) -> NsCategory {
+        NsCategory::NeuroSymbolicToNeuro
+    }
+
+    fn run(&mut self) -> Result<WorkloadOutput, WorkloadError> {
+        let n = self.neurons.len();
+        // Initialize bounds: unknown everywhere, observations pinned.
+        let mut lower = Tensor::zeros(&[n, 1]);
+        let mut upper = Tensor::ones(&[n, 1]);
+        for &(prop, truth) in &self.observations {
+            if let Some(&leaf) = self.leaf_of_prop.get(&prop) {
+                lower.data_mut()[leaf] = truth as f32;
+                upper.data_mut()[leaf] = truth as f32;
+            }
+        }
+
+        let mut iterations = 0usize;
+        let mut contradictions = 0usize;
+        for _ in 0..self.config.max_iterations {
+            iterations += 1;
+            let delta_up = self.upward_pass(&mut lower, &mut upper)?;
+            let (contra, _) = {
+                let _sym = phase_scope(Phase::Symbolic);
+                self.downward_pass(&mut lower, &mut upper)
+            };
+            contradictions += contra;
+            // Re-pin observations (they are ground truth).
+            for &(prop, truth) in &self.observations {
+                if let Some(&leaf) = self.leaf_of_prop.get(&prop) {
+                    lower.data_mut()[leaf] = truth as f32;
+                    upper.data_mut()[leaf] = truth as f32;
+                }
+            }
+            if delta_up < 1e-6 {
+                break;
+            }
+        }
+
+        // Theorem-prover query load (symbolic).
+        let derived = {
+            let _sym = phase_scope(Phase::Symbolic);
+            self.theorem_prover()
+        };
+
+        let resolved = (0..n)
+            .filter(|&i| (upper.data()[i] - lower.data()[i]) < 0.05)
+            .count();
+        let mut out = WorkloadOutput::new();
+        out.set("iterations", iterations as f64);
+        out.set("neurons", n as f64);
+        out.set("resolved_fraction", resolved as f64 / n as f64);
+        out.set("contradictions", contradictions as f64);
+        out.set("kb_derived_facts", derived as f64);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsai_core::Profiler;
+
+    #[test]
+    fn compiles_shared_leaves() {
+        let lnn = Lnn::new(LnnConfig {
+            propositions: 5,
+            formulas: 10,
+            depth: 4,
+            max_iterations: 5,
+            seed: 1,
+        });
+        // At most 5 leaf neurons despite 10 formulas.
+        let leaves = lnn
+            .neurons
+            .iter()
+            .filter(|n| matches!(n, Neuron::Leaf(_)))
+            .count();
+        assert!(leaves <= 5);
+        assert_eq!(lnn.roots.len(), 10);
+    }
+
+    #[test]
+    fn run_converges_and_resolves_some_bounds() {
+        let mut lnn = Lnn::new(LnnConfig::small());
+        let out = lnn.run().unwrap();
+        assert!(out.metric("iterations").unwrap() >= 1.0);
+        assert!(out.metric("resolved_fraction").unwrap() > 0.0);
+        assert!(out.metric("kb_derived_facts").unwrap() > 15.0);
+    }
+
+    #[test]
+    fn upward_pass_computes_lukasiewicz_and() {
+        // Single formula: And(p0, p1) with p0=1, p1=1.
+        let mut neurons = Vec::new();
+        let mut leaves = HashMap::new();
+        let tree = FormulaTree::And(
+            Box::new(FormulaTree::Leaf(0)),
+            Box::new(FormulaTree::Leaf(1)),
+        );
+        let root = compile(&tree, &mut neurons, &mut leaves);
+        let lnn = Lnn {
+            config: LnnConfig::small(),
+            weights: vec![(1.0, 1.0, 1.0); neurons.len()],
+            neurons,
+            roots: vec![root],
+            observations: vec![],
+            leaf_of_prop: leaves,
+        };
+        let n = lnn.neurons.len();
+        let mut lower = Tensor::zeros(&[n, 1]);
+        let mut upper = Tensor::ones(&[n, 1]);
+        lower.data_mut()[0] = 1.0;
+        lower.data_mut()[1] = 1.0;
+        lnn.upward_pass(&mut lower, &mut upper).unwrap();
+        assert_eq!(lower.data()[root], 1.0);
+        assert_eq!(upper.data()[root], 1.0);
+    }
+
+    #[test]
+    fn weighted_and_tolerates_uncertain_input() {
+        // AND(p0, p1) with p1 uncertain (0.5): unweighted gives 0.5; with
+        // w_right lowered, the neuron tolerates the weak input — LNN's
+        // "resilience to incomplete knowledge".
+        let mut neurons = Vec::new();
+        let mut leaves = HashMap::new();
+        let tree = FormulaTree::And(
+            Box::new(FormulaTree::Leaf(0)),
+            Box::new(FormulaTree::Leaf(1)),
+        );
+        let root = compile(&tree, &mut neurons, &mut leaves);
+        let mut lnn = Lnn {
+            config: LnnConfig::small(),
+            weights: vec![(1.0, 1.0, 1.0); neurons.len()],
+            neurons,
+            roots: vec![root],
+            observations: vec![],
+            leaf_of_prop: leaves,
+        };
+        let n = lnn.neurons.len();
+        let run = |lnn: &Lnn| {
+            let mut lower = Tensor::zeros(&[n, 1]);
+            let mut upper = Tensor::ones(&[n, 1]);
+            lower.data_mut()[0] = 1.0; // p0 true
+            lower.data_mut()[1] = 0.5; // p1 at least 0.5
+            upper.data_mut()[1] = 0.5; // ... and at most 0.5
+            lnn.upward_pass(&mut lower, &mut upper).unwrap();
+            lower.data()[root]
+        };
+        let unweighted = run(&lnn);
+        assert!((unweighted - 0.5).abs() < 1e-6);
+        lnn.set_weights(root, 1.0, 0.2, 1.0);
+        let weighted = run(&lnn);
+        assert!((weighted - 0.9).abs() < 1e-6, "weighted {weighted}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn set_weights_validates() {
+        let mut lnn = Lnn::new(LnnConfig::small());
+        lnn.set_weights(0, 0.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn both_phases_are_exercised() {
+        let mut lnn = Lnn::new(LnnConfig::small());
+        let profiler = Profiler::new();
+        {
+            let _a = profiler.activate();
+            let _ = lnn.run().unwrap();
+        }
+        let report = profiler.report_for("lnn");
+        let neural = report.phase_fraction(Phase::Neural);
+        let symbolic = report.phase_fraction(Phase::Symbolic);
+        assert!(neural > 0.05, "neural {neural}");
+        assert!(symbolic > 0.05, "symbolic {symbolic}");
+        // LNN's signature: data movement shows up in the trace.
+        assert!(report
+            .ops()
+            .iter()
+            .any(|o| o.category == OpCategory::DataMovement));
+    }
+
+    #[test]
+    fn category_and_name() {
+        let lnn = Lnn::new(LnnConfig::small());
+        assert_eq!(lnn.name(), "lnn");
+        assert_eq!(lnn.category(), NsCategory::NeuroSymbolicToNeuro);
+    }
+}

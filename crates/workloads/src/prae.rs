@@ -1,0 +1,655 @@
+//! PrAE — Probabilistic Abduction and Execution learner (Sec. III-H).
+//!
+//! PrAE shares NVSA's pipeline shape — neural perception producing
+//! attribute PMFs, symbolic abduction of hidden rules, execution to a
+//! predicted panel — but reasons **directly in probability space** rather
+//! than in a vector-symbolic algebra. Rule probabilities are computed by
+//! exhaustive marginalization over joint value assignments (outer products
+//! and convolutions of PMFs), which is why the paper finds PrAE's symbolic
+//! phase both latency-dominant (80.5%) and memory-hungry: *"a large number
+//! of vector operations depending on intermediate results and exhaustive
+//! symbolic search"*. All intermediate joint tensors are materialized, as
+//! in the original implementation.
+
+use crate::error::WorkloadError;
+use crate::nvsa::RuleKind;
+use crate::perception::{Perception, PerceptionMode};
+use crate::workload::{Workload, WorkloadOutput};
+use nsai_core::profile::{self, phase_scope, OpMeta};
+use nsai_core::taxonomy::{NsCategory, OpCategory, Phase};
+use nsai_data::rpm::{RpmGenerator, RpmProblem, ATTRIBUTE_CARDINALITIES};
+use nsai_tensor::ops::movement::TransferDirection;
+use nsai_tensor::Tensor;
+use std::time::Instant;
+
+/// PrAE configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PraeConfig {
+    /// RPM matrix side (2 or 3).
+    pub grid: usize,
+    /// Panel rendering resolution.
+    pub res: usize,
+    /// Perception mode.
+    pub mode: PerceptionMode,
+    /// Problems per run.
+    pub problems: usize,
+    /// Independent rule components per problem (1 = RAVEN "Center").
+    pub components: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl PraeConfig {
+    /// Small config used by the cross-workload harnesses.
+    pub fn small() -> Self {
+        PraeConfig {
+            grid: 3,
+            res: 16,
+            mode: PerceptionMode::Oracle { noise: 0.05 },
+            problems: 2,
+            components: 1,
+            seed: 43,
+        }
+    }
+}
+
+/// The PrAE workload.
+#[derive(Debug)]
+pub struct Prae {
+    config: PraeConfig,
+    perception: Perception,
+    prepared: bool,
+}
+
+impl Prae {
+    /// Build the workload.
+    pub fn new(config: PraeConfig) -> Self {
+        let perception = Perception::new(config.mode, config.res, config.seed);
+        Prae {
+            config,
+            perception,
+            prepared: false,
+        }
+    }
+
+    fn prepare_impl(&mut self) -> Result<(), WorkloadError> {
+        if !self.prepared {
+            self.perception.train(150, 40, self.config.seed)?;
+            self.prepared = true;
+        }
+        Ok(())
+    }
+
+    /// Predict the PMF of a row's last element under a rule hypothesis —
+    /// pure probability algebra over the earlier elements' PMFs.
+    fn predict_pmf(
+        rule: RuleKind,
+        row: &[Tensor],
+        row0: &[Tensor],
+        card: usize,
+    ) -> Result<Tensor, WorkloadError> {
+        let prev = row.last().expect("rows are non-empty");
+        let pred = match rule {
+            RuleKind::Constant => prev.clone(),
+            RuleKind::Progression(delta) => {
+                // Shift the PMF by delta, dropping mass that runs off the
+                // support (renormalized below).
+                let mut out = vec![0.0f32; card];
+                for v in 0..card {
+                    let target = v as i32 + delta;
+                    if (0..card as i32).contains(&target) {
+                        out[target as usize] = prev.data()[v];
+                    }
+                }
+                Tensor::from_vec(out, &[card])?
+            }
+            RuleKind::Arithmetic(add) => {
+                // Exhaustive joint: P(c) = Σ_{a,b} P(a)P(b)[a±b = c].
+                // The outer product is materialized — PrAE's memory cost.
+                let joint = row[0].outer(&row[1])?;
+                let mut out = vec![0.0f32; card];
+                for a in 0..card {
+                    for b in 0..card {
+                        let c = if add {
+                            a as i32 + b as i32
+                        } else {
+                            a as i32 - b as i32
+                        };
+                        if (0..card as i32).contains(&c) {
+                            out[c as usize] += joint.data()[a * card + b];
+                        }
+                    }
+                }
+                Tensor::from_vec(out, &[card])?
+            }
+            RuleKind::DistributeThree => {
+                // Missing-member distribution: mass present in row 0's
+                // value set but not yet seen in this row.
+                let mut set = row0[0].clone();
+                for pmf in &row0[1..] {
+                    set = set.add(pmf)?;
+                }
+                let mut seen = Tensor::zeros(&[card]);
+                for pmf in row {
+                    seen = seen.add(pmf)?;
+                }
+                set.sub(&seen)?.relu()
+            }
+        };
+        Ok(pred.normalize_prob()?)
+    }
+
+    /// Score how well a predicted PMF explains an observed one
+    /// (Bhattacharyya-style agreement).
+    fn agreement(pred: &Tensor, actual: &Tensor) -> Result<f32, WorkloadError> {
+        Ok(pred.mul(actual)?.sum())
+    }
+
+    /// **Scene inference over position sets.** A panel's object layout is
+    /// a subset of the 3×3 grid — 2⁹ = 512 possible masks. The joint
+    /// (position-index, number) PMF induces a distribution over masks:
+    /// `P(mask) = Σ_{i,m : slots(i,m)=mask} P(i)·P(m)`. This is PrAE's
+    /// probabilistic scene representation, and the source of its memory
+    /// appetite: the 512-dim set distributions (and their 512×512 joints
+    /// below) are kept alive throughout abduction.
+    fn set_distribution(pos: &Tensor, num: &Tensor) -> Result<Tensor, WorkloadError> {
+        let joint = pos.outer(num)?; // [9, 9]
+        let start = Instant::now();
+        let mut dist = vec![0.0f32; 512];
+        for i in 0..9 {
+            for m in 0..9 {
+                dist[Self::mask_of(i, m)] += joint.data()[i * 9 + m];
+            }
+        }
+        profile::record(
+            "set_scatter",
+            OpCategory::Other,
+            OpMeta::new()
+                .flops(81)
+                .bytes_read(81 * 4)
+                .bytes_written(512 * 4)
+                .output_elems(512)
+                .output_nonzeros(dist.iter().filter(|v| **v != 0.0).count() as u64),
+            start.elapsed(),
+        );
+        Ok(Tensor::from_vec(dist, &[512])?)
+    }
+
+    /// The grid bitmask of position-index `i` with `m + 1` objects
+    /// (mirrors `Panel::render`'s layout: slots `(i + 2k) mod 9`).
+    fn mask_of(i: usize, m: usize) -> usize {
+        let mut mask = 0usize;
+        for k in 0..=m {
+            mask |= 1 << ((i + 2 * k) % 9);
+        }
+        mask
+    }
+
+    /// Rotate a set distribution: every mask's slots shift by `delta`
+    /// around the 9-slot grid (the set-space image of an index
+    /// progression, since `slots(i+δ, m) = rotate_δ(slots(i, m))`).
+    pub fn set_rotate(dist: &Tensor, delta: i32) -> Result<Tensor, WorkloadError> {
+        let start = Instant::now();
+        let shift = delta.rem_euclid(9) as u32;
+        let mut out = vec![0.0f32; 512];
+        for (mask, p) in dist.data().iter().enumerate() {
+            if *p == 0.0 {
+                continue;
+            }
+            let m = mask as u32;
+            let rotated = ((m << shift) | (m >> (9 - shift))) & 0x1FF;
+            out[rotated as usize] += p;
+        }
+        profile::record(
+            "set_rotate",
+            OpCategory::Other,
+            OpMeta::new()
+                .flops(512)
+                .bytes_read(512 * 4)
+                .bytes_written(512 * 4)
+                .output_elems(512)
+                .output_nonzeros(out.iter().filter(|v| **v != 0.0).count() as u64),
+            start.elapsed(),
+        );
+        Ok(Tensor::from_vec(out, &[512])?)
+    }
+
+    /// Predict a row's last set distribution under a rule hypothesis,
+    /// entirely in set space.
+    pub fn set_predict(
+        rule: RuleKind,
+        row: &[Tensor],
+        row0: &[Tensor],
+    ) -> Result<Tensor, WorkloadError> {
+        let prev = row.last().expect("rows are non-empty");
+        Ok(match rule {
+            RuleKind::Constant => prev.clone(),
+            RuleKind::Progression(delta) => Self::set_rotate(prev, delta)?,
+            RuleKind::Arithmetic(add) => Self::set_rule_predict(&row[0], &row[1], add)?,
+            RuleKind::DistributeThree => {
+                let mut acc = row0[0].clone();
+                for d in &row0[1..] {
+                    acc = acc.add(d)?;
+                }
+                for d in row {
+                    acc = acc.sub(d)?;
+                }
+                acc.relu().normalize_prob()?
+            }
+        })
+    }
+
+    /// Exhaustive set-rule posterior: the probability that the third set
+    /// is the union (or difference) of the first two, marginalizing over
+    /// the full 512×512 joint — the paper's "exhaustive probability
+    /// computation". Returns the predicted 512-dim set distribution.
+    fn set_rule_predict(a: &Tensor, b: &Tensor, union: bool) -> Result<Tensor, WorkloadError> {
+        // Materialize the joint: 512×512 f32 = 1 MiB per evaluation.
+        let joint = a.outer(b)?;
+        let start = Instant::now();
+        let mut out = vec![0.0f32; 512];
+        for ma in 0..512 {
+            for mb in 0..512 {
+                let m = if union { ma | mb } else { ma & !mb };
+                out[m] += joint.data()[ma * 512 + mb];
+            }
+        }
+        profile::record(
+            "set_rule_marginalize",
+            OpCategory::Other,
+            OpMeta::new()
+                .flops(512 * 512)
+                .bytes_read(512 * 512 * 4)
+                .bytes_written(512 * 4)
+                .output_elems(512)
+                .output_nonzeros(out.iter().filter(|v| **v != 0.0).count() as u64),
+            start.elapsed(),
+        );
+        Ok(Tensor::from_vec(out, &[512])?.normalize_prob()?)
+    }
+
+    fn solve(&mut self, problem: &RpmProblem) -> Result<(Vec<f32>, usize), WorkloadError> {
+        let grid = problem.grid;
+        // ---------------- Neural frontend ----------------
+        let mut context_pmfs = Vec::with_capacity(problem.context().len());
+        for panel in problem.context() {
+            context_pmfs.push(self.perception.infer_pmfs(panel)?);
+        }
+        let mut candidate_pmfs = Vec::with_capacity(problem.candidates.len());
+        for panel in &problem.candidates {
+            candidate_pmfs.push(self.perception.infer_pmfs(panel)?);
+        }
+
+        // ---------------- Symbolic backend ----------------
+        let _sym = phase_scope(Phase::Symbolic);
+        // Pipeline boundary (Fig. 4): scene representation crosses to the
+        // reasoning stage.
+        for pmfs in &context_pmfs {
+            for pmf in pmfs {
+                let t = Tensor::from_vec(pmf.clone(), &[pmf.len()])?;
+                let _ = t.stage_transfer(TransferDirection::HostToDevice);
+            }
+        }
+
+        // Scene inference over position sets: one 512-dim distribution per
+        // context panel, all kept alive through abduction (PrAE's
+        // intermediate-memory signature).
+        let set_dists: Vec<Tensor> = context_pmfs
+            .iter()
+            .map(|p| {
+                let pos = Tensor::from_vec(p[0].clone(), &[p[0].len()])?;
+                let num = Tensor::from_vec(p[1].clone(), &[p[1].len()])?;
+                Self::set_distribution(&pos, &num)
+            })
+            .collect::<Result<_, _>>()?;
+        let set_rows: Vec<&[Tensor]> = set_dists.chunks(grid).collect();
+
+        let mut rule_hits = 0usize;
+        let mut predicted: Vec<Option<Tensor>> = vec![None; 5];
+        // Non-positional attributes first (position execution needs the
+        // predicted number PMF to form its set distribution).
+        for attr in [1usize, 2, 3, 4] {
+            let card = ATTRIBUTE_CARDINALITIES[attr];
+            // Scene inference: per-panel PMF tensors for this attribute.
+            let pmfs: Vec<Tensor> = context_pmfs
+                .iter()
+                .map(|p| Tensor::from_vec(p[attr].clone(), &[card]))
+                .collect::<Result<_, _>>()?;
+            let rows: Vec<&[Tensor]> = pmfs.chunks(grid).collect();
+            let row0: Vec<Tensor> = rows[0].to_vec();
+
+            // Probabilistic abduction: exhaustive rule scoring on the
+            // complete rows. Every hypothesis keeps its intermediate
+            // prediction alive until the attribute is resolved.
+            let mut intermediates: Vec<(RuleKind, f32, Tensor)> = Vec::new();
+            for rule in RuleKind::candidates(grid) {
+                let mut score = 0.0f32;
+                let mut scored = 0usize;
+                for (r, row) in rows.iter().take(grid - 1).enumerate() {
+                    let known = &row[..grid - 1];
+                    let pred = Self::predict_pmf(rule, known, &row0, card)?;
+                    if attr == 1 {
+                        // Number is a set attribute (the popcount of the
+                        // layout mask): score its hypotheses in scene-set
+                        // space, like position.
+                        let target_pos = Tensor::from_vec(
+                            context_pmfs[r * grid + grid - 1][0].clone(),
+                            &[context_pmfs[r * grid + grid - 1][0].len()],
+                        )?;
+                        let pred_set = Self::set_distribution(&target_pos, &pred)?;
+                        score += Self::agreement(&pred_set, &set_rows[r][grid - 1])?;
+                    } else {
+                        score += Self::agreement(&pred, &row[grid - 1])?;
+                    }
+                    scored += 1;
+                }
+                let score = score / scored.max(1) as f32;
+                // Execute the hypothesis on the last row eagerly (the
+                // "probabilistic planning" of PrAE's execution engine).
+                let last_known = &rows[grid - 1][..grid - 1];
+                let executed = Self::predict_pmf(rule, last_known, &row0, card)?;
+                intermediates.push((rule, score, executed));
+            }
+            let best = intermediates
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
+                .expect("at least one rule");
+            if best.0.matches(&problem.rules[attr]) {
+                rule_hits += 1;
+            }
+            predicted[attr] = Some(best.2.clone());
+        }
+
+        // Position: abduction runs over the full *scene-set* space. Every
+        // index-rule hypothesis is projected into set space (using the
+        // target panel's number distribution) and scored there; the RAVEN
+        // layout rules (set union / difference) join the hypothesis space
+        // with their exhaustive 512×512 marginalizations.
+        {
+            let card = ATTRIBUTE_CARDINALITIES[0];
+            let pos_pmfs: Vec<Tensor> = context_pmfs
+                .iter()
+                .map(|p| Tensor::from_vec(p[0].clone(), &[card]))
+                .collect::<Result<_, _>>()?;
+            let num_pmfs: Vec<Tensor> = context_pmfs
+                .iter()
+                .map(|p| Tensor::from_vec(p[1].clone(), &[p[1].len()]))
+                .collect::<Result<_, _>>()?;
+            let pos_rows: Vec<&[Tensor]> = pos_pmfs.chunks(grid).collect();
+            let row0: Vec<Tensor> = pos_rows[0].to_vec();
+            let predicted_number = predicted[1].as_ref().expect("number resolved first");
+
+            // (score, matched generator rule?, executed index PMF).
+            let mut best: (f32, bool, Tensor) = (f32::NEG_INFINITY, false, pos_pmfs[0].clone());
+            for rule in RuleKind::candidates(grid) {
+                let mut score = 0.0f32;
+                let mut scored = 0usize;
+                for (r, row) in pos_rows.iter().take(grid - 1).enumerate() {
+                    let known = &row[..grid - 1];
+                    let pred_index = Self::predict_pmf(rule, known, &row0, card)?;
+                    let target_num = &num_pmfs[r * grid + grid - 1];
+                    let pred_set = Self::set_distribution(&pred_index, target_num)?;
+                    score += Self::agreement(&pred_set, &set_rows[r][grid - 1])?;
+                    scored += 1;
+                }
+                let score = score / scored.max(1) as f32;
+                if score > best.0 {
+                    let last_known = &pos_rows[grid - 1][..grid - 1];
+                    let executed = Self::predict_pmf(rule, last_known, &row0, card)?;
+                    best = (score, rule.matches(&problem.rules[0]), executed);
+                }
+            }
+            if grid >= 3 {
+                for union in [true, false] {
+                    let mut score = 0.0f32;
+                    for row in set_rows.iter().take(grid - 1) {
+                        let pred = Self::set_rule_predict(&row[0], &row[1], union)?;
+                        score += Self::agreement(&pred, &row[grid - 1])?;
+                    }
+                    let score = score / (grid - 1) as f32;
+                    if score > best.0 {
+                        let last = set_rows[grid - 1];
+                        let pred_set = Self::set_rule_predict(&last[0], &last[1], union)?;
+                        // Marginalize back to a position-index PMF.
+                        let mut pos = vec![0.0f32; card];
+                        for (i, slot) in pos.iter_mut().enumerate() {
+                            for m in 0..9 {
+                                *slot += pred_set.data()[Self::mask_of(i, m)];
+                            }
+                        }
+                        let executed = Tensor::from_vec(pos, &[card])?.normalize_prob()?;
+                        // The generator never emits set rules.
+                        best = (score, false, executed);
+                    }
+                }
+            }
+            if best.1 {
+                rule_hits += 1;
+            }
+            // Keep the executed set representation alive for selection.
+            let _executed_set = Self::set_distribution(&best.2, predicted_number)?;
+            predicted[0] = Some(best.2);
+        }
+        let predicted: Vec<Tensor> = predicted
+            .into_iter()
+            .map(|p| p.expect("all five attributes resolved"))
+            .collect();
+
+        // Analysis-by-synthesis answer selection, including joint
+        // position-number consistency through the set representation.
+        let predicted_set = Self::set_distribution(&predicted[0], &predicted[1])?;
+        let mut lls = Vec::with_capacity(candidate_pmfs.len());
+        for pmfs in &candidate_pmfs {
+            let mut ll = 0.0f32;
+            for attr in 0..5 {
+                let card = ATTRIBUTE_CARDINALITIES[attr];
+                let cand = Tensor::from_vec(pmfs[attr].clone(), &[card])?;
+                ll += (Self::agreement(&predicted[attr], &cand)? + 1e-6).ln();
+            }
+            let cand_pos = Tensor::from_vec(pmfs[0].clone(), &[pmfs[0].len()])?;
+            let cand_num = Tensor::from_vec(pmfs[1].clone(), &[pmfs[1].len()])?;
+            let cand_set = Self::set_distribution(&cand_pos, &cand_num)?;
+            ll += (Self::agreement(&predicted_set, &cand_set)? + 1e-6).ln();
+            lls.push(ll);
+        }
+        Ok((lls, rule_hits))
+    }
+}
+
+impl Workload for Prae {
+    fn name(&self) -> &'static str {
+        "prae"
+    }
+
+    fn category(&self) -> NsCategory {
+        NsCategory::NeuroPipeSymbolic
+    }
+
+    fn prepare(&mut self) -> Result<(), WorkloadError> {
+        self.prepare_impl()
+    }
+
+    fn run(&mut self) -> Result<WorkloadOutput, WorkloadError> {
+        self.prepare()?;
+        {
+            let _neural = phase_scope(Phase::Neural);
+            profile::register_storage("prae.perception.weights", self.perception.storage_bytes());
+        }
+        let mut generator = RpmGenerator::new(self.config.seed + 7);
+        let mut correct = 0usize;
+        let mut rule_hits = 0usize;
+        let components = self.config.components.max(1);
+        for _ in 0..self.config.problems {
+            let parts = generator.generate_composite(self.config.grid, components);
+            let mut combined = vec![0.0f32; parts[0].candidates.len()];
+            for part in &parts {
+                let (lls, hits) = self.solve(part)?;
+                for (acc, ll) in combined.iter_mut().zip(&lls) {
+                    *acc += ll;
+                }
+                rule_hits += hits;
+            }
+            let answer = combined
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+                .map(|(i, _)| i)
+                .expect("candidates exist");
+            if answer == parts[0].answer {
+                correct += 1;
+            }
+        }
+        let mut out = WorkloadOutput::new();
+        out.set("accuracy", correct as f64 / self.config.problems as f64);
+        out.set(
+            "rule_detection_accuracy",
+            rule_hits as f64 / (self.config.problems * components * 5) as f64,
+        );
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsai_core::Profiler;
+
+    fn oracle_config(grid: usize, problems: usize) -> PraeConfig {
+        PraeConfig {
+            grid,
+            res: 16,
+            mode: PerceptionMode::Oracle { noise: 0.02 },
+            problems,
+            components: 1,
+            seed: 21,
+        }
+    }
+
+    #[test]
+    fn solves_rpm_in_probability_space() {
+        let mut prae = Prae::new(oracle_config(3, 4));
+        let out = prae.run().unwrap();
+        assert!(
+            out.metric("accuracy").unwrap() >= 0.75,
+            "accuracy {:?}",
+            out.metric("accuracy")
+        );
+    }
+
+    #[test]
+    fn solves_multi_component_problems() {
+        let mut prae = Prae::new(PraeConfig {
+            components: 2,
+            ..oracle_config(3, 3)
+        });
+        let out = prae.run().unwrap();
+        assert!(
+            out.metric("accuracy").unwrap() >= 0.66,
+            "accuracy {:?}",
+            out.metric("accuracy")
+        );
+    }
+
+    #[test]
+    fn progression_pmf_shift() {
+        let pmf = Tensor::from_vec(vec![0.0, 1.0, 0.0, 0.0], &[4]).unwrap();
+        let pred = Prae::predict_pmf(
+            RuleKind::Progression(2),
+            std::slice::from_ref(&pmf),
+            std::slice::from_ref(&pmf),
+            4,
+        )
+        .unwrap();
+        assert!((pred.data()[3] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn arithmetic_pmf_is_convolution() {
+        // P(a)=δ(1), P(b)=δ(2) => P(a+b)=δ(3).
+        let a = Tensor::from_vec(vec![0.0, 1.0, 0.0, 0.0, 0.0], &[5]).unwrap();
+        let b = Tensor::from_vec(vec![0.0, 0.0, 1.0, 0.0, 0.0], &[5]).unwrap();
+        let pred = Prae::predict_pmf(
+            RuleKind::Arithmetic(true),
+            &[a.clone(), b.clone()],
+            &[a, b],
+            5,
+        )
+        .unwrap();
+        assert!((pred.data()[3] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn distribute_three_finds_missing_member() {
+        let one_hot = |i: usize| {
+            let mut v = vec![0.0f32; 4];
+            v[i] = 1.0;
+            Tensor::from_vec(v, &[4]).unwrap()
+        };
+        let row0 = vec![one_hot(0), one_hot(2), one_hot(3)];
+        let row_known = vec![one_hot(2), one_hot(0)];
+        let pred = Prae::predict_pmf(RuleKind::DistributeThree, &row_known, &row0, 4).unwrap();
+        let argmax = pred
+            .data()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(argmax, 3);
+    }
+
+    #[test]
+    fn symbolic_phase_is_prominent() {
+        let mut prae = Prae::new(oracle_config(3, 1));
+        prae.prepare().unwrap();
+        let profiler = Profiler::new();
+        {
+            let _a = profiler.activate();
+            let _ = prae.run().unwrap();
+        }
+        let report = profiler.report_for("prae");
+        let sym = report.phase_fraction(Phase::Symbolic);
+        // The paper measures 80.5% symbolic on a testbed where the conv
+        // frontend runs on an accelerator; here both phases share one CPU,
+        // which inflates the neural share. Host-side the symbolic phase
+        // must still be a first-class latency contributor; the Fig. 2a
+        // harness reports the device-projected share for the paper
+        // comparison.
+        assert!(sym > 0.25, "symbolic fraction {sym}");
+    }
+
+    #[test]
+    fn set_rotation_matches_index_shift() {
+        // A one-hot set distribution for (i=2, m=1) rotated by +1 equals
+        // the distribution for (i=3, m=1).
+        let mut d = vec![0.0f32; 512];
+        d[Prae::mask_of(2, 1)] = 1.0;
+        let dist = Tensor::from_vec(d, &[512]).unwrap();
+        let rotated = Prae::set_rotate(&dist, 1).unwrap();
+        assert!((rotated.data()[Prae::mask_of(3, 1)] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn set_predict_union_is_exhaustive_marginal() {
+        let one_hot = |mask: usize| {
+            let mut v = vec![0.0f32; 512];
+            v[mask] = 1.0;
+            Tensor::from_vec(v, &[512]).unwrap()
+        };
+        let a = one_hot(0b000000011);
+        let b = one_hot(0b000000110);
+        let row = vec![a.clone(), b.clone()];
+        let pred = Prae::set_predict(RuleKind::Arithmetic(true), &row, &row).unwrap();
+        assert!((pred.data()[0b000000111] - 1.0).abs() < 1e-6);
+        // Constant in set space reproduces the previous panel.
+        let pred_c = Prae::set_predict(RuleKind::Constant, &row, &row).unwrap();
+        assert_eq!(pred_c.data(), b.data());
+    }
+
+    #[test]
+    fn category_and_name() {
+        let prae = Prae::new(PraeConfig::small());
+        assert_eq!(prae.name(), "prae");
+        assert_eq!(prae.category(), NsCategory::NeuroPipeSymbolic);
+    }
+}

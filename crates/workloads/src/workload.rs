@@ -1,0 +1,83 @@
+//! The common workload interface.
+
+use crate::error::WorkloadError;
+use nsai_core::taxonomy::NsCategory;
+use std::collections::BTreeMap;
+
+/// Named scalar results of a workload run (accuracy, satisfaction,
+/// similarity scores, ...).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkloadOutput {
+    metrics: BTreeMap<String, f64>,
+}
+
+impl WorkloadOutput {
+    /// Empty output.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or overwrite a metric.
+    pub fn set(&mut self, name: impl Into<String>, value: f64) {
+        self.metrics.insert(name.into(), value);
+    }
+
+    /// Read a metric.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics.get(name).copied()
+    }
+
+    /// All metrics in name order.
+    pub fn metrics(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+/// A runnable neuro-symbolic workload.
+///
+/// Implementations bracket their neural and symbolic components with
+/// [`nsai_core::profile::phase_scope`] so that a profiler active during
+/// `run` observes the paper's phase partition.
+pub trait Workload: std::fmt::Debug {
+    /// Short workload name (paper abbreviation, lowercase).
+    fn name(&self) -> &'static str;
+
+    /// Kautz-taxonomy category (Tab. I column).
+    fn category(&self) -> NsCategory;
+
+    /// One-time setup (model training, codebook generation). Harnesses
+    /// call this *before* activating the profiler so that `run` traces
+    /// inference only, matching the paper's measurement protocol.
+    /// Idempotent; `run` also calls it defensively.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WorkloadError`] when setup fails.
+    fn prepare(&mut self) -> Result<(), WorkloadError> {
+        Ok(())
+    }
+
+    /// Execute one end-to-end run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WorkloadError`] when a substrate operation fails —
+    /// which, for a valid configuration, indicates a bug rather than an
+    /// input condition.
+    fn run(&mut self) -> Result<WorkloadOutput, WorkloadError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_metrics_round_trip() {
+        let mut out = WorkloadOutput::new();
+        out.set("accuracy", 0.9);
+        out.set("accuracy", 0.95); // overwrite
+        assert_eq!(out.metric("accuracy"), Some(0.95));
+        assert_eq!(out.metric("missing"), None);
+        assert_eq!(out.metrics().count(), 1);
+    }
+}

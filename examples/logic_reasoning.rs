@@ -1,0 +1,85 @@
+//! The symbolic-logic substrate on its own: Horn-clause inference over a
+//! LUBM-style knowledge base, fuzzy first-order semantics, and LNN-style
+//! truth-bound propagation — the three logic styles behind the paper's
+//! LNN / LTN / ABL workload families.
+//!
+//! ```sh
+//! cargo run --release --example logic_reasoning
+//! ```
+
+use neurosym::data::logic_kb::{university_kb, UniversityConfig};
+use neurosym::logic::bounds::TruthBounds;
+use neurosym::logic::fuzzy::{exists_pmean, forall_pmean_error, FuzzySemantics};
+use neurosym::logic::kb::{KnowledgeBase, Rule};
+use neurosym::logic::term::{Atom, Term};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- Horn-clause chaining over a university KB -----------------------
+    let uni = university_kb(UniversityConfig::default(), 7);
+    let mut kb = KnowledgeBase::new();
+    for (p, e) in &uni.unary {
+        kb.add_fact(Atom::prop1(p.clone(), e.clone()));
+    }
+    for (p, s, o) in &uni.binary {
+        kb.add_fact(Atom::prop2(p.clone(), s.clone(), o.clone()));
+    }
+    kb.add_rule(Rule::new(
+        Atom::new("taught_by", vec![Term::var("S"), Term::var("P")]),
+        vec![
+            Atom::new("enrolled", vec![Term::var("S"), Term::var("C")]),
+            Atom::new("teaches", vec![Term::var("P"), Term::var("C")]),
+        ],
+    ));
+    let base_facts = kb.facts().len();
+    let closure = kb.forward_chain(4);
+    println!("== Horn chaining ==");
+    println!(
+        "  base facts: {base_facts}, after closure: {}",
+        closure.len()
+    );
+    let goal = Atom::new(
+        "taught_by",
+        vec![Term::constant("student0_0"), Term::var("P")],
+    );
+    println!(
+        "  ∃P taught_by(student0_0, P)?  {}",
+        kb.backward_chain(&goal, 8)?
+    );
+
+    // ---- Fuzzy first-order semantics -------------------------------------
+    println!();
+    println!("== fuzzy semantics ==");
+    let degrees = [0.9, 0.8, 0.95, 0.4];
+    for semantics in [
+        FuzzySemantics::Lukasiewicz,
+        FuzzySemantics::Godel,
+        FuzzySemantics::Product,
+    ] {
+        println!(
+            "  {:?}: AND(0.9, 0.8) = {:.3}, 0.9 → 0.4 = {:.3}",
+            semantics,
+            semantics.t_norm(0.9, 0.8),
+            semantics.implies(0.9, 0.4)
+        );
+    }
+    println!(
+        "  ∀x P(x) over {degrees:?} (p=2): {:.3};  ∃: {:.3}",
+        forall_pmean_error(&degrees, 2.0)?,
+        exists_pmean(&degrees, 2.0)?
+    );
+
+    // ---- Truth bounds (the LNN substrate) ---------------------------------
+    println!();
+    println!("== truth bounds ==");
+    let rain = TruthBounds::new(0.7, 1.0)?; // at least 0.7 true
+    let sprinkler = TruthBounds::unknown();
+    let wet = rain.or_up(&sprinkler);
+    println!("  rain {rain}, sprinkler {sprinkler} ⇒ wet {wet}");
+    // Downward: the street is observed dry — tighten the disjuncts.
+    let observed_dry = TruthBounds::new(0.0, 0.1)?;
+    let (wet_tight, contradiction) = wet.tighten(&observed_dry);
+    println!("  observe wet ≤ 0.1: tightened {wet_tight} (contradiction: {contradiction})");
+    let rain_tight = TruthBounds::or_down(&wet_tight, &sprinkler);
+    println!("  downward: rain must lie in {rain_tight}");
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Quickstart: profile one neuro-symbolic workload and print its
+//! characterization — the 60-second tour of the framework.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use neurosym::core::taxonomy::{OpCategory, Phase};
+use neurosym::core::Profiler;
+use neurosym::simarch::device::Device;
+use neurosym::simarch::project::project_trace;
+use neurosym::workloads::vsait::{Vsait, VsaitConfig};
+use neurosym::workloads::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick a workload — VSAIT: unpaired image translation through a
+    //    vector-symbolic hyperspace.
+    let mut workload = Vsait::new(VsaitConfig::small());
+
+    // 2. Run it under a profiler. Every tensor/VSA kernel the workload
+    //    executes reports an operator event with its phase (neural or
+    //    symbolic), category, FLOPs, bytes, and sparsity.
+    let profiler = Profiler::new();
+    let output = {
+        let _active = profiler.activate();
+        workload.run()?
+    };
+
+    // 3. The workload's own quality metrics.
+    println!("== workload output ==");
+    for (name, value) in output.metrics() {
+        println!("  {name:<28} {value:.4}");
+    }
+
+    // 4. The characterization report (the paper's Fig. 2a/3a view).
+    let report = profiler.report_for(workload.name());
+    println!();
+    println!("== characterization ==");
+    println!(
+        "  total {:.2} ms over {} operator events",
+        report.total_duration().as_secs_f64() * 1e3,
+        report.event_count()
+    );
+    for phase in Phase::ALL {
+        println!(
+            "  {phase:<9} {:5.1}% of runtime; dominant category: {}",
+            report.phase_fraction(phase) * 100.0,
+            OpCategory::ALL
+                .iter()
+                .max_by(|a, b| {
+                    report
+                        .category_fraction(phase, **a)
+                        .partial_cmp(&report.category_fraction(phase, **b))
+                        .expect("finite")
+                })
+                .map(|c| c.label())
+                .unwrap_or("-")
+        );
+    }
+
+    // 5. Project the same trace onto the paper's GPU (Fig. 2b machinery).
+    let rtx = Device::rtx_2080_ti();
+    let projected = project_trace(&profiler.events(), &rtx);
+    println!();
+    println!(
+        "== projected on {} ==\n  total {:.3} ms, symbolic share {:.1}%",
+        rtx.name(),
+        projected.total_secs() * 1e3,
+        projected.symbolic_fraction() * 100.0
+    );
+    Ok(())
+}

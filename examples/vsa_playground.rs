@@ -1,0 +1,81 @@
+//! Vector-symbolic algebra playground: the primitive operations the
+//! paper's symbolic workloads are built from, shown end to end —
+//! binding/unbinding, bundling capacity, fractional-power arithmetic, and
+//! resonator factorization.
+//!
+//! ```sh
+//! cargo run --release --example vsa_playground
+//! ```
+
+use neurosym::vsa::{Codebook, Hypervector, Resonator, VsaModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let d = 4096;
+
+    // --- Key-value binding ---------------------------------------------
+    println!("== binding (bipolar, d={d}) ==");
+    let color = Hypervector::random(VsaModel::Bipolar, d, 1);
+    let red = Hypervector::random(VsaModel::Bipolar, d, 2);
+    let shape = Hypervector::random(VsaModel::Bipolar, d, 3);
+    let square = Hypervector::random(VsaModel::Bipolar, d, 4);
+    // A "red square" record: superposition of two bound pairs.
+    let record = Hypervector::bundle(&[&color.bind(&red)?, &shape.bind(&square)?])?;
+    let what_color = record.unbind(&color)?;
+    println!(
+        "  query color  -> sim(red) {:+.3}, sim(square) {:+.3}",
+        what_color.similarity(&red)?,
+        what_color.similarity(&square)?
+    );
+
+    // --- Bundling capacity ----------------------------------------------
+    println!();
+    println!("== bundling capacity ==");
+    for k in [2usize, 8, 32, 128] {
+        let members: Vec<Hypervector> = (0..k)
+            .map(|i| Hypervector::random(VsaModel::Bipolar, d, 100 + i as u64))
+            .collect();
+        let refs: Vec<&Hypervector> = members.iter().collect();
+        let bundle = Hypervector::bundle(&refs)?;
+        let sim = bundle.similarity(&members[0])?;
+        println!("  {k:>4} members: member similarity {sim:+.3}");
+    }
+
+    // --- Fractional-power arithmetic (NVSA's rule algebra) ---------------
+    println!();
+    println!("== fractional-power encoding (HRR) ==");
+    let base = Hypervector::random_unitary(2048, 9);
+    let symbols: Vec<String> = (0..10).map(|v| format!("v{v}")).collect();
+    let symbol_refs: Vec<&str> = symbols.iter().map(String::as_str).collect();
+    let values = Codebook::fractional_power("value", &base, 10, &symbol_refs)?;
+    let three_plus_four = values.at(3)?.bind(values.at(4)?)?;
+    let (idx, sim) = values.cleanup(&three_plus_four)?;
+    println!("  enc(3) ⊛ enc(4) decodes to {idx} (similarity {sim:.3})");
+
+    // --- Resonator factorization ------------------------------------------
+    println!();
+    println!("== resonator factorization ==");
+    let types = Codebook::generate(
+        "type",
+        VsaModel::Bipolar,
+        d,
+        &["circle", "square", "star"],
+        11,
+    );
+    let sizes = Codebook::generate("size", VsaModel::Bipolar, d, &["small", "large"], 12);
+    let colors = Codebook::generate("color", VsaModel::Bipolar, d, &["red", "green", "blue"], 13);
+    let composite = types
+        .get("star")?
+        .bind(sizes.get("large")?)?
+        .bind(colors.get("green")?)?;
+    let resonator = Resonator::new(vec![&types, &sizes, &colors], 50)?;
+    let result = resonator.factorize(&composite)?;
+    println!(
+        "  composite factorizes to ({}, {}, {}) in {} iterations (converged: {})",
+        types.symbols()[result.indices[0]],
+        sizes.symbols()[result.indices[1]],
+        colors.symbols()[result.indices[2]],
+        result.iterations,
+        result.converged
+    );
+    Ok(())
+}

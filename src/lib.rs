@@ -1,0 +1,50 @@
+//! # neurosym
+//!
+//! A Rust reproduction of *"Towards Cognitive AI Systems: Workload and
+//! Characterization of Neuro-Symbolic AI"* (ISPASS 2024): seven
+//! representative neuro-symbolic workloads, an operator-level
+//! characterization framework, and an architecture-simulation layer that
+//! regenerates every table and figure of the paper's evaluation.
+//!
+//! This crate is the facade: it re-exports the workspace crates under one
+//! namespace. See the individual crates for deep documentation:
+//!
+//! - [`core`] (`nsai-core`) — taxonomy, profiler, roofline, reports,
+//!   takeaway checks.
+//! - [`tensor`] (`nsai-tensor`) — instrumented dense/sparse tensors.
+//! - [`nn`] (`nsai-nn`) — layers, explicit backprop, optimizers.
+//! - [`vsa`] (`nsai-vsa`) — hypervectors, codebooks, resonators, LSH.
+//! - [`logic`] (`nsai-logic`) — fuzzy logic, truth bounds, Horn KBs.
+//! - [`simarch`] (`nsai-simarch`) — device models, cache simulator,
+//!   operation graphs.
+//! - [`data`] (`nsai-data`) — synthetic dataset generators.
+//! - [`workloads`] (`nsai-workloads`) — LNN, LTN, NVSA, NLM, VSAIT,
+//!   ZeroC, PrAE.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use neurosym::core::{Profiler, Phase};
+//! use neurosym::workloads::{Workload, vsait::{Vsait, VsaitConfig}};
+//!
+//! let mut workload = Vsait::new(VsaitConfig::small());
+//! let profiler = Profiler::new();
+//! {
+//!     let _active = profiler.activate();
+//!     workload.run()?;
+//! }
+//! let report = profiler.report_for(workload.name());
+//! println!("symbolic share: {:.1}%", report.phase_fraction(Phase::Symbolic) * 100.0);
+//! # Ok::<(), neurosym::workloads::WorkloadError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use nsai_core as core;
+pub use nsai_data as data;
+pub use nsai_logic as logic;
+pub use nsai_nn as nn;
+pub use nsai_simarch as simarch;
+pub use nsai_tensor as tensor;
+pub use nsai_vsa as vsa;
+pub use nsai_workloads as workloads;

@@ -1,0 +1,113 @@
+//! Integration test: failure injection across the public API — malformed
+//! inputs produce typed errors (never panics) at every crate boundary.
+
+use neurosym::logic::bounds::TruthBounds;
+use neurosym::logic::fuzzy::validate_truth;
+use neurosym::simarch::device::Device;
+use neurosym::tensor::{CooMatrix, Tensor, TensorError};
+use neurosym::vsa::{Codebook, Hypervector, Resonator, VsaError, VsaModel};
+
+#[test]
+fn tensor_errors_are_typed() {
+    // Length mismatch.
+    assert!(matches!(
+        Tensor::from_vec(vec![1.0; 5], &[2, 3]),
+        Err(TensorError::LengthMismatch { .. })
+    ));
+    // Shape mismatch in matmul.
+    let a = Tensor::zeros(&[2, 3]);
+    let b = Tensor::zeros(&[2, 3]);
+    assert!(matches!(
+        a.matmul(&b),
+        Err(TensorError::ShapeMismatch { .. })
+    ));
+    // Axis out of range.
+    assert!(matches!(
+        a.sum_axis(5),
+        Err(TensorError::AxisOutOfRange { .. })
+    ));
+    // FFT length validation.
+    let odd = Tensor::zeros(&[100]);
+    assert!(matches!(
+        odd.circular_conv_fft(&odd),
+        Err(TensorError::InvalidArgument(_))
+    ));
+    // Sparse bounds validation.
+    assert!(CooMatrix::new(2, 2, vec![(5, 0, 1.0)]).is_err());
+}
+
+#[test]
+fn vsa_errors_are_typed() {
+    let a = Hypervector::random(VsaModel::Bipolar, 64, 1);
+    let b = Hypervector::random(VsaModel::Bipolar, 128, 2);
+    assert!(matches!(
+        a.bind(&b),
+        Err(VsaError::DimensionMismatch { .. })
+    ));
+    let h = Hypervector::random(VsaModel::Hrr, 64, 3);
+    assert!(matches!(a.bind(&h), Err(VsaError::ModelMismatch { .. })));
+
+    let empty = Codebook::generate("empty", VsaModel::Bipolar, 64, &[], 1);
+    assert!(matches!(empty.cleanup(&a), Err(VsaError::EmptyCodebook)));
+    assert!(matches!(
+        empty.get("missing"),
+        Err(VsaError::UnknownSymbol(_))
+    ));
+    // Resonator configuration validation.
+    let cb = Codebook::generate("one", VsaModel::Bipolar, 64, &["x"], 2);
+    assert!(Resonator::new(vec![&cb], 10).is_err());
+}
+
+#[test]
+fn logic_errors_are_typed() {
+    assert!(TruthBounds::new(0.9, 0.1).is_err());
+    assert!(TruthBounds::new(-0.5, 0.5).is_err());
+    assert!(validate_truth(1.5).is_err());
+    assert!(validate_truth(f64::NAN).is_err());
+}
+
+#[test]
+fn device_model_validation() {
+    assert!(Device::new("bad", -1.0, 10.0, 10.0, 0.0, 0.5, 0.5).is_err());
+    assert!(Device::new("bad", 10.0, 10.0, 10.0, 0.0, 2.0, 0.5).is_err());
+    assert!(Device::new("ok", 10.0, 10.0, 10.0, 1e-6, 0.5, 0.5).is_ok());
+}
+
+#[test]
+fn workload_config_errors_are_typed() {
+    use neurosym::workloads::perception::{Perception, PerceptionMode};
+    use neurosym::workloads::WorkloadError;
+    // Untrained neural perception is a typed configuration error.
+    let mut p = Perception::new(PerceptionMode::Neural, 16, 1);
+    let panel = neurosym::data::rpm::Panel::from_attributes([0, 0, 0, 0, 0]);
+    assert!(matches!(
+        p.infer_pmfs(&panel),
+        Err(WorkloadError::Config(_))
+    ));
+}
+
+#[test]
+fn profiler_survives_poisoned_scopes() {
+    use neurosym::core::taxonomy::Phase;
+    use neurosym::core::{profile, Profiler};
+    let profiler = Profiler::new();
+    let probe = profiler.clone();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        let _active = probe.activate();
+        let _phase = profile::phase_scope(Phase::Symbolic);
+        panic!("inside profiled region");
+    }));
+    assert!(result.is_err());
+    // The thread-local stacks unwound; subsequent profiling is clean.
+    assert_eq!(profile::current_phase(), Phase::Neural);
+    {
+        let _active = profiler.activate();
+        profile::record(
+            "after_panic",
+            neurosym::core::taxonomy::OpCategory::Other,
+            profile::OpMeta::new(),
+            std::time::Duration::ZERO,
+        );
+    }
+    assert_eq!(profiler.events().len(), 1);
+}

@@ -1,0 +1,112 @@
+//! Integration test: every workload runs end to end through the public
+//! facade, produces its advertised quality metrics, and leaves a
+//! well-formed profile.
+
+use neurosym::core::taxonomy::Phase;
+use neurosym::core::Profiler;
+use neurosym::workloads::{all_workloads_small, Workload};
+
+#[test]
+fn all_seven_workloads_run_and_report() {
+    for mut workload in all_workloads_small() {
+        let profiler = Profiler::new();
+        let output = {
+            let _active = profiler.activate();
+            workload
+                .run()
+                .unwrap_or_else(|e| panic!("{} failed: {e}", workload.name()))
+        };
+        assert!(
+            output.metrics().count() >= 1,
+            "{}: no output metrics",
+            workload.name()
+        );
+        let report = profiler.report_for(workload.name());
+        assert!(
+            report.event_count() > 10,
+            "{}: trace too small",
+            workload.name()
+        );
+        assert!(
+            report.total_duration().as_nanos() > 0,
+            "{}: zero total duration",
+            workload.name()
+        );
+        // Both phases were exercised.
+        for phase in Phase::ALL {
+            assert!(
+                report.phase_duration(phase).as_nanos() > 0,
+                "{}: phase {phase} empty",
+                workload.name()
+            );
+        }
+        // Memory was tracked.
+        assert!(
+            report.memory().high_water_bytes() > 0,
+            "{}: no memory tracked",
+            workload.name()
+        );
+    }
+}
+
+#[test]
+fn quality_metrics_meet_floors() {
+    let floors: &[(&str, &str, f64)] = &[
+        ("lnn", "resolved_fraction", 0.05),
+        ("ltn", "accuracy", 0.85),
+        ("nvsa", "accuracy", 0.49),
+        ("nlm", "test_balanced_accuracy", 0.8),
+        ("vsait", "cycle_consistency", 0.99),
+        ("zeroc", "accuracy", 0.49),
+        ("prae", "accuracy", 0.49),
+    ];
+    for mut workload in all_workloads_small() {
+        let output = workload.run().expect("runs");
+        let (_, metric, floor) = floors
+            .iter()
+            .find(|(n, _, _)| *n == workload.name())
+            .expect("floor registered");
+        let value = output
+            .metric(metric)
+            .unwrap_or_else(|| panic!("{} missing metric {metric}", workload.name()));
+        assert!(
+            value >= *floor,
+            "{}: {metric} = {value} below floor {floor}",
+            workload.name()
+        );
+    }
+}
+
+#[test]
+fn runs_are_deterministic_in_outputs() {
+    // Same seeds, same metrics (timing varies; outputs must not).
+    use neurosym::workloads::nvsa::{Nvsa, NvsaConfig};
+    let a = Nvsa::new(NvsaConfig::small()).run().expect("runs");
+    let b = Nvsa::new(NvsaConfig::small()).run().expect("runs");
+    assert_eq!(
+        a.metric("accuracy"),
+        b.metric("accuracy"),
+        "nvsa accuracy not deterministic"
+    );
+    assert_eq!(
+        a.metric("rule_detection_accuracy"),
+        b.metric("rule_detection_accuracy")
+    );
+}
+
+#[test]
+fn profiler_nesting_isolates_workloads() {
+    // An outer profiler watching the whole sweep sees nothing from inner
+    // activations (inner shadows outer), keeping reports uncontaminated.
+    let outer = Profiler::new();
+    let _o = outer.activate();
+    let inner = Profiler::new();
+    {
+        let _i = inner.activate();
+        let mut w =
+            neurosym::workloads::ltn::Ltn::new(neurosym::workloads::ltn::LtnConfig::small());
+        let _ = w.run().expect("runs");
+    }
+    assert!(outer.is_empty());
+    assert!(!inner.is_empty());
+}
