@@ -1,0 +1,104 @@
+//! Thread-count ablation for the parallel execution engine.
+//!
+//! Sweeps pool width over {1, 2, 4, 8} for the kernels the paper's
+//! workloads are dominated by: dense GEMM (perception backbones), direct
+//! convolution (feature extractors), and batched VSA codebook cleanup
+//! (symbolic search). Width 1 is the exact serial code path, so the
+//! width-1 rows double as the serial baseline for speedup calculations;
+//! on a multi-core host the 512³ GEMM is expected to run >1.5× faster at
+//! width 4 than at width 1.
+//!
+//! Because chunk decomposition is pool-width invariant, every width
+//! produces bitwise-identical outputs — this ablation isolates pure
+//! scheduling/throughput effects.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nsai_tensor::ops::conv::Conv2dParams;
+use nsai_tensor::{par, Tensor};
+use nsai_vsa::{Codebook, Hypervector, VsaModel};
+use std::hint::black_box;
+
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_matmul_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_threads/matmul_512");
+    group.sample_size(10);
+    let n = 512usize;
+    let a = Tensor::rand_uniform(&[n, n], -1.0, 1.0, 1);
+    let b = Tensor::rand_uniform(&[n, n], -1.0, 1.0, 2);
+    group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+    for threads in WIDTHS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |bench, &threads| {
+                bench.iter(|| {
+                    par::with_threads(threads, || black_box(a.matmul(&b).expect("shapes match")))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_conv2d_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_threads/conv2d_64");
+    group.sample_size(10);
+    let res = 64usize;
+    let input = Tensor::rand_uniform(&[4, 16, res, res], -1.0, 1.0, 3);
+    let kernel = Tensor::rand_uniform(&[32, 16, 3, 3], -1.0, 1.0, 4);
+    let flops = 2 * 4 * 32 * 16 * 9 * (res - 2) * (res - 2);
+    group.throughput(Throughput::Elements(flops as u64));
+    for threads in WIDTHS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |bench, &threads| {
+                bench.iter(|| {
+                    par::with_threads(threads, || {
+                        black_box(
+                            input
+                                .conv2d(&kernel, None, Conv2dParams::default())
+                                .expect("shapes match"),
+                        )
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cleanup_batch_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_threads/cleanup_batch");
+    group.sample_size(10);
+    let symbols: Vec<String> = (0..64).map(|i| format!("s{i}")).collect();
+    let sym_refs: Vec<&str> = symbols.iter().map(String::as_str).collect();
+    let cb = Codebook::generate("ablate", VsaModel::Bipolar, 4096, &sym_refs, 7);
+    let queries: Vec<Hypervector> = (0..32)
+        .map(|i| cb.at(i % cb.len()).expect("in range").clone())
+        .collect();
+    group.throughput(Throughput::Elements((queries.len() * cb.len()) as u64));
+    for threads in WIDTHS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |bench, &threads| {
+                bench.iter(|| {
+                    par::with_threads(threads, || {
+                        black_box(cb.cleanup_batch(&queries).expect("validated"))
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul_threads,
+    bench_conv2d_threads,
+    bench_cleanup_batch_threads
+);
+criterion_main!(benches);

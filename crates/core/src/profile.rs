@@ -57,6 +57,13 @@ impl OpMeta {
     }
 
     /// Set the floating-point operation count.
+    ///
+    /// Convention: kernels report *effective* FLOPs — the operations
+    /// actually performed. A kernel that skips work (e.g. a GEMM that
+    /// skips zero operand entries counts `2·nnz(A)·n`, not the dense
+    /// `2·m·k·n`) must report the reduced count, so roofline/operational-
+    /// intensity figures reflect real work rather than a dense upper
+    /// bound.
     pub fn flops(mut self, flops: u64) -> Self {
         self.flops = flops;
         self
@@ -181,6 +188,127 @@ impl Profiler {
 thread_local! {
     static ACTIVE: RefCell<Vec<Profiler>> = const { RefCell::new(Vec::new()) };
     static PHASE: RefCell<Vec<Phase>> = const { RefCell::new(Vec::new()) };
+    static BUFFERS: RefCell<Vec<EventBuffer>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A worker-local staging area for events recorded inside an entered
+/// [`Scope`]. Buffered events are appended to the target profiler's trace
+/// in one lock acquisition when the [`ScopeGuard`] drops, so concurrent
+/// workers do not contend on the trace mutex per event.
+#[derive(Debug)]
+struct EventBuffer {
+    target: Profiler,
+    events: Vec<OpEvent>,
+}
+
+impl EventBuffer {
+    fn flush(self) {
+        if self.events.is_empty() {
+            return;
+        }
+        let mut inner = self.target.inner.lock();
+        for mut ev in self.events {
+            ev.seq = inner.events.len() as u64;
+            inner.events.push(ev);
+        }
+    }
+}
+
+/// A captured profiling context: the active profiler (if any) and current
+/// phase of the capturing thread.
+///
+/// The profiler's thread-local design means worker threads spawned by a
+/// parallel kernel would otherwise record into the void. A parallel
+/// engine captures the caller's context once with [`Scope::capture`],
+/// then [`Scope::enter`]s it on each worker; events the worker records
+/// while the guard lives are staged in a worker-local buffer and merged
+/// into the captured profiler's trace when the guard drops.
+///
+/// ```
+/// use nsai_core::profile::{record, OpMeta, Profiler, Scope};
+/// use nsai_core::taxonomy::OpCategory;
+/// use std::time::Duration;
+///
+/// let profiler = Profiler::new();
+/// let _active = profiler.activate();
+/// let scope = Scope::capture();
+/// std::thread::scope(|s| {
+///     s.spawn(|| {
+///         let _g = scope.enter();
+///         record("worker-op", OpCategory::Other, OpMeta::new(), Duration::ZERO);
+///     });
+/// });
+/// assert_eq!(profiler.events().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Scope {
+    profiler: Option<Profiler>,
+    phase: Option<Phase>,
+}
+
+impl Scope {
+    /// Snapshot the calling thread's context. Cheap (one `Arc` clone);
+    /// capturing with no active profiler yields a scope whose guards are
+    /// no-ops, so callers need not special-case unprofiled runs.
+    pub fn capture() -> Self {
+        Scope {
+            profiler: ACTIVE.with(|stack| stack.borrow().last().cloned()),
+            phase: PHASE.with(|stack| stack.borrow().last().copied()),
+        }
+    }
+
+    /// Install the captured context on the current thread.
+    ///
+    /// While the guard lives, [`is_active`] is true, [`current_phase`]
+    /// reports the captured phase, and recorded events are buffered
+    /// locally; dropping the guard merges them into the captured
+    /// profiler's trace under a single lock.
+    #[must_use = "the context is only installed while the guard is alive"]
+    pub fn enter(&self) -> ScopeGuard {
+        if let Some(p) = &self.profiler {
+            ACTIVE.with(|stack| stack.borrow_mut().push(p.clone()));
+            BUFFERS.with(|stack| {
+                stack.borrow_mut().push(EventBuffer {
+                    target: p.clone(),
+                    events: Vec::new(),
+                })
+            });
+        }
+        if let Some(phase) = self.phase {
+            PHASE.with(|stack| stack.borrow_mut().push(phase));
+        }
+        ScopeGuard {
+            active: self.profiler.is_some(),
+            phase: self.phase.is_some(),
+        }
+    }
+}
+
+/// Guard returned by [`Scope::enter`]; uninstalls the context and flushes
+/// the worker-local event buffer on drop.
+#[derive(Debug)]
+#[must_use = "dropping the guard uninstalls the scope"]
+pub struct ScopeGuard {
+    active: bool,
+    phase: bool,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        if self.phase {
+            PHASE.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+        }
+        if self.active {
+            if let Some(buffer) = BUFFERS.with(|stack| stack.borrow_mut().pop()) {
+                buffer.flush();
+            }
+            ACTIVE.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+        }
+    }
 }
 
 /// Guard returned by [`Profiler::activate`]; deactivates on drop.
@@ -244,8 +372,43 @@ fn with_active<F: FnOnce(&Profiler)>(f: F) {
 
 /// Record an already-timed operator event into the active profiler (no-op if
 /// none is active).
+///
+/// Inside an entered [`Scope`] the event is staged in the worker-local
+/// buffer instead of locking the trace; see [`Scope::enter`].
 pub fn record(name: &str, category: OpCategory, meta: OpMeta, duration: Duration) {
-    with_active(|p| p.push_event(name, category, meta, duration));
+    let buffered = BUFFERS.with(|buffers| {
+        let mut buffers = buffers.borrow_mut();
+        let Some(buf) = buffers.last_mut() else {
+            return false;
+        };
+        // A profiler activated *inside* the scope shadows the buffer's
+        // target; its events must bypass the buffer and record directly.
+        let top_is_target = ACTIVE.with(|stack| {
+            stack
+                .borrow()
+                .last()
+                .is_some_and(|p| Arc::ptr_eq(&p.inner, &buf.target.inner))
+        });
+        if !top_is_target {
+            return false;
+        }
+        buf.events.push(OpEvent {
+            seq: 0, // assigned at flush, under the trace lock
+            name: name.to_owned(),
+            category,
+            phase: current_phase(),
+            duration,
+            flops: meta.flops,
+            bytes_read: meta.bytes_read,
+            bytes_written: meta.bytes_written,
+            output_elems: meta.output_elems,
+            output_nonzeros: meta.output_nonzeros.unwrap_or(meta.output_elems),
+        });
+        true
+    });
+    if !buffered {
+        with_active(|p| p.push_event(name, category, meta, duration));
+    }
 }
 
 /// Time `f` and record it as one operator event. Returns `f`'s output.
@@ -419,6 +582,84 @@ mod tests {
         }
         let seqs: Vec<u64> = p.events().iter().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn scope_propagates_profiler_and_phase_across_threads() {
+        let p = Profiler::new();
+        let _a = p.activate();
+        let _ph = phase_scope(Phase::Symbolic);
+        let scope = Scope::capture();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                assert!(!is_active());
+                let _g = scope.enter();
+                assert!(is_active());
+                assert_eq!(current_phase(), Phase::Symbolic);
+                record("worker", OpCategory::MatMul, OpMeta::new(), Duration::ZERO);
+                record_alloc(128);
+            });
+        });
+        let events = p.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "worker");
+        assert_eq!(events[0].phase, Phase::Symbolic);
+        assert_eq!(p.memory().high_water_bytes(), 128);
+    }
+
+    #[test]
+    fn empty_scope_guard_is_noop() {
+        let scope = Scope::capture();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _g = scope.enter();
+                assert!(!is_active());
+                // Must not panic or leak anywhere.
+                record("void", OpCategory::Other, OpMeta::new(), Duration::ZERO);
+            });
+        });
+    }
+
+    #[test]
+    fn merged_buffers_keep_sequence_numbers_contiguous() {
+        let p = Profiler::new();
+        let _a = p.activate();
+        let scope = Scope::capture();
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    let _g = scope.enter();
+                    record("w1", OpCategory::Other, OpMeta::new(), Duration::ZERO);
+                    record("w2", OpCategory::Other, OpMeta::new(), Duration::ZERO);
+                });
+            }
+        });
+        record("main", OpCategory::Other, OpMeta::new(), Duration::ZERO);
+        let mut seqs: Vec<u64> = p.events().iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..7).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn inner_activation_bypasses_scope_buffer() {
+        let outer = Profiler::new();
+        let inner = Profiler::new();
+        let _a = outer.activate();
+        let scope = Scope::capture();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _g = scope.enter();
+                {
+                    let _b = inner.activate();
+                    record("shadowed", OpCategory::Other, OpMeta::new(), Duration::ZERO);
+                }
+                record("outer", OpCategory::Other, OpMeta::new(), Duration::ZERO);
+            });
+        });
+        assert_eq!(inner.events().len(), 1);
+        assert_eq!(inner.events()[0].name, "shadowed");
+        assert_eq!(outer.events().len(), 1);
+        assert_eq!(outer.events()[0].name, "outer");
     }
 
     #[test]

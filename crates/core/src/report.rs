@@ -78,8 +78,7 @@ pub struct Report {
 /// serialized as a list of `{phase, category, stats}` entries.
 mod cells_serde {
     use super::*;
-    use serde::ser::SerializeSeq;
-    use serde::{Deserializer, Serializer};
+    use serde::{Error, Value};
 
     #[derive(Serialize, Deserialize)]
     struct Entry {
@@ -88,25 +87,24 @@ mod cells_serde {
         stats: CellStats,
     }
 
-    pub fn serialize<S: Serializer>(
-        cells: &BTreeMap<(Phase, OpCategory), CellStats>,
-        ser: S,
-    ) -> Result<S::Ok, S::Error> {
-        let mut seq = ser.serialize_seq(Some(cells.len()))?;
-        for ((phase, category), stats) in cells {
-            seq.serialize_element(&Entry {
-                phase: *phase,
-                category: *category,
-                stats: *stats,
-            })?;
-        }
-        seq.end()
+    pub fn to_json(cells: &BTreeMap<(Phase, OpCategory), CellStats>) -> Value {
+        Value::Array(
+            cells
+                .iter()
+                .map(|((phase, category), stats)| {
+                    Entry {
+                        phase: *phase,
+                        category: *category,
+                        stats: *stats,
+                    }
+                    .to_json()
+                })
+                .collect(),
+        )
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        de: D,
-    ) -> Result<BTreeMap<(Phase, OpCategory), CellStats>, D::Error> {
-        let entries = Vec::<Entry>::deserialize(de)?;
+    pub fn from_json(v: &Value) -> Result<BTreeMap<(Phase, OpCategory), CellStats>, Error> {
+        let entries = Vec::<Entry>::from_json(v)?;
         Ok(entries
             .into_iter()
             .map(|e| ((e.phase, e.category), e.stats))

@@ -51,6 +51,64 @@ pub fn draw_disc(
     }
 }
 
+/// Draw a shape with a *fractional* radius and anti-aliased edges.
+///
+/// [`draw_disc`] quantizes the radius to whole pixels, which collapses
+/// nearby radii into identical images at low resolutions (at 16×16 an RPM
+/// cell is 5 px and five of the six size grades truncate to radius 1).
+/// Here each edge pixel gets partial coverage `clamp(r + 0.5 - d, 0, 1)`
+/// of `intensity`, so every fractional radius produces a distinct image.
+/// Pixels are combined with `max`, matching overlapping-object behavior.
+pub fn draw_disc_soft(
+    data: &mut [f32],
+    res: usize,
+    cy: usize,
+    cx: usize,
+    radius: f32,
+    intensity: f32,
+    shape_type: usize,
+) {
+    let r = radius.max(0.0);
+    let span = r.ceil() as isize + 1;
+    let (cy, cx) = (cy as isize, cx as isize);
+    for dy in -span..=span {
+        for dx in -span..=span {
+            let (ay, ax) = (dy.unsigned_abs() as f32, dx.unsigned_abs() as f32);
+            // Distance from the shape edge in the metric that defines it.
+            let d = match shape_type % 5 {
+                0 => (ay * ay + ax * ax).sqrt(), // disc: Euclidean
+                1 => ay.max(ax),                 // square: Chebyshev
+                2 => ay + ax,                    // diamond: L1
+                3 => {
+                    // Ring: distance from the circle of radius r·0.75,
+                    // rescaled so coverage falls off at the same rate.
+                    let inner = (ay * ay + ax * ax).sqrt() - r * 0.75;
+                    r + inner.abs() - r * 0.25
+                }
+                _ => {
+                    // Cross: axis-aligned arms of length r.
+                    if dy == 0 {
+                        ax
+                    } else if dx == 0 {
+                        ay
+                    } else {
+                        f32::INFINITY
+                    }
+                }
+            };
+            let coverage = (r + 0.5 - d).clamp(0.0, 1.0);
+            if coverage <= 0.0 {
+                continue;
+            }
+            let (y, x) = (cy + dy, cx + dx);
+            if y >= 0 && x >= 0 && (y as usize) < res && (x as usize) < res {
+                let px = &mut data[y as usize * res + x as usize];
+                *px = px.max(intensity * coverage);
+            }
+        }
+    }
+}
+
 /// Which procedural domain to sample.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Domain {

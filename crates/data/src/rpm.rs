@@ -7,7 +7,7 @@
 //! attribute (constant / progression / arithmetic / distribute-three),
 //! exactly the rule families NVSA's symbolic backend abduces.
 
-use crate::images::draw_disc;
+use crate::images::draw_disc_soft;
 use nsai_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -95,18 +95,23 @@ impl Panel {
         let cell = res / 3;
         let n_objects = self.number + 1;
         let intensity = 0.3 + 0.07 * self.color as f32;
-        let radius = (cell as f32 * (0.15 + 0.05 * self.size as f32)) as usize;
+        // Fractional radius: at small resolutions whole-pixel radii would
+        // collapse neighboring size grades into identical images (at 16×16
+        // five of the six grades truncate to radius 1), making the size
+        // attribute unlearnable. The anti-aliased renderer keeps each
+        // grade distinct.
+        let radius = cell as f32 * (0.15 + 0.05 * self.size as f32);
         for k in 0..n_objects {
             let slot = (self.position + k * 2) % 9;
             let (row, col) = (slot / 3, slot % 3);
             let cy = row * cell + cell / 2;
             let cx = col * cell + cell / 2;
-            draw_disc(
+            draw_disc_soft(
                 img.data_mut(),
                 res,
                 cy,
                 cx,
-                radius.max(1),
+                radius.max(0.75),
                 intensity,
                 self.shape_type,
             );

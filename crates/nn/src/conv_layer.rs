@@ -6,6 +6,11 @@
 //! kernel *mix* of inference is identical, and the paper's measurements are
 //! inference-side. `backward` therefore propagates no gradients and is
 //! documented as unsupported.
+//!
+//! The direct `conv2d` kernel invoked here is parallelized over output
+//! channels/planes by `nsai_tensor::par`; each `(batch, channel)` plane is
+//! computed by the unchanged serial inner loop, so outputs are
+//! bitwise-identical to the single-threaded path at any pool width.
 
 use crate::layer::Layer;
 use nsai_core::profile;

@@ -1,4 +1,9 @@
 //! Fully-connected layer.
+//!
+//! Forward and backward passes dispatch to the row-blocked GEMM kernels in
+//! `nsai_tensor::ops::matmul`, which run on the shared work-stealing pool
+//! (`nsai_tensor::par`) and fall back to the exact serial code path when
+//! `NEUROSYM_THREADS=1`. Results are bitwise-identical at any pool width.
 
 use crate::layer::Layer;
 use nsai_core::profile;

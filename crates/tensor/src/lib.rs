@@ -19,6 +19,8 @@
 //! - [`fft`] — radix-2 FFT and circular convolution (the NVSA arithmetic-
 //!   rule kernel).
 //! - [`sparse`] — COO and CSR matrices, SpMM, SDDMM, coalescing.
+//! - [`par`] — the parallel execution engine the hot kernels run on
+//!   (thread pool, chunk self-scheduling, `NEUROSYM_THREADS`).
 //!
 //! ```
 //! use nsai_tensor::Tensor;
@@ -37,6 +39,7 @@ pub mod dense;
 pub mod error;
 pub mod fft;
 pub mod ops;
+pub mod par;
 pub mod shape;
 pub mod sparse;
 

@@ -6,9 +6,16 @@
 use crate::dense::Tensor;
 use crate::error::TensorError;
 use crate::instrument::{nnz, run_op, ELEM};
+use crate::par;
 use crate::shape::Shape;
 use nsai_core::profile::OpMeta;
 use nsai_core::taxonomy::OpCategory;
+
+/// `(batch, out-channel)` output planes per parallel `conv2d` chunk, and
+/// `(batch, output-row)` groups per parallel `im2col` chunk. Fixed so the
+/// decomposition is pool-width invariant.
+const CONV_PLANE_GRAIN: usize = 1;
+const IM2COL_ROW_GRAIN: usize = 4;
 
 /// Convolution hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,36 +115,44 @@ impl Tensor {
             "conv2d",
             OpCategory::Convolution,
             || {
+                // Parallel over (batch, out-channel) output planes; each
+                // plane runs the serial spatial loops unchanged.
                 let mut out = vec![0.0f32; n * c_out * oh * ow];
                 let pad = params.padding as isize;
-                for b_i in 0..n {
-                    for co in 0..c_out {
-                        let base_b = bias.map(|b| b.data()[co]).unwrap_or(0.0);
-                        for oy in 0..oh {
-                            for ox in 0..ow {
-                                let mut acc = base_b;
-                                for ci in 0..c_in {
-                                    for ky in 0..kh {
-                                        let iy = (oy * params.stride + ky) as isize - pad;
-                                        if iy < 0 || iy >= h as isize {
-                                            continue;
-                                        }
-                                        for kx in 0..kw {
-                                            let ix = (ox * params.stride + kx) as isize - pad;
-                                            if ix < 0 || ix >= w as isize {
+                let plane = oh * ow;
+                if plane > 0 {
+                    par::fill_chunks(&mut out, CONV_PLANE_GRAIN * plane, |range, dst| {
+                        let p0 = range.start / plane;
+                        for (local, o_plane) in dst.chunks_mut(plane).enumerate() {
+                            let (b_i, co) = ((p0 + local) / c_out, (p0 + local) % c_out);
+                            let base_b = bias.map(|b| b.data()[co]).unwrap_or(0.0);
+                            for oy in 0..oh {
+                                for ox in 0..ow {
+                                    let mut acc = base_b;
+                                    for ci in 0..c_in {
+                                        for ky in 0..kh {
+                                            let iy = (oy * params.stride + ky) as isize - pad;
+                                            if iy < 0 || iy >= h as isize {
                                                 continue;
                                             }
-                                            let in_idx = ((b_i * c_in + ci) * h + iy as usize) * w
-                                                + ix as usize;
-                                            let w_idx = ((co * c_in + ci) * kh + ky) * kw + kx;
-                                            acc += self.data()[in_idx] * weight.data()[w_idx];
+                                            for kx in 0..kw {
+                                                let ix = (ox * params.stride + kx) as isize - pad;
+                                                if ix < 0 || ix >= w as isize {
+                                                    continue;
+                                                }
+                                                let in_idx = ((b_i * c_in + ci) * h + iy as usize)
+                                                    * w
+                                                    + ix as usize;
+                                                let w_idx = ((co * c_in + ci) * kh + ky) * kw + kx;
+                                                acc += self.data()[in_idx] * weight.data()[w_idx];
+                                            }
                                         }
                                     }
+                                    o_plane[oy * ow + ox] = acc;
                                 }
-                                out[((b_i * c_out + co) * oh + oy) * ow + ox] = acc;
                             }
                         }
-                    }
+                    });
                 }
                 Tensor::from_vec_unchecked(out, Shape::new(&[n, c_out, oh, ow]))
             },
@@ -230,10 +245,16 @@ impl Tensor {
             "im2col",
             OpCategory::DataTransform,
             || {
+                // Parallel over (batch, output-row) groups. Each group
+                // owns the column indices derived from its own (b_i, oy),
+                // so the scattered writes are disjoint across chunks.
                 let pad = params.padding as isize;
                 let mut cols = vec![0.0f32; patch * cols_n];
-                for b_i in 0..n {
-                    for oy in 0..oh {
+                let groups = n * oh;
+                let slice = par::UnsafeSlice::new(&mut cols);
+                par::parallel_for(par::chunk_count(groups, IM2COL_ROW_GRAIN), &|chunk| {
+                    for g in par::chunk_range(groups, IM2COL_ROW_GRAIN, chunk) {
+                        let (b_i, oy) = (g / oh, g % oh);
                         for ox in 0..ow {
                             let col = (b_i * oh + oy) * ow + ox;
                             for ci in 0..c_in {
@@ -252,13 +273,15 @@ impl Tensor {
                                         } else {
                                             0.0
                                         };
-                                        cols[row * cols_n + col] = value;
+                                        // SAFETY: `col` is unique to this
+                                        // chunk's (b_i, oy) group.
+                                        unsafe { slice.write(row * cols_n + col, value) };
                                     }
                                 }
                             }
                         }
                     }
-                }
+                });
                 Tensor::from_vec_unchecked(cols, Shape::new(&[patch, cols_n]))
             },
             |out| {

@@ -7,12 +7,24 @@
 use crate::dense::Tensor;
 use crate::error::TensorError;
 use crate::instrument::{nnz, run_op, ELEM};
+use crate::par;
 use crate::shape::Shape;
 use nsai_core::profile::OpMeta;
 use nsai_core::taxonomy::OpCategory;
 
+/// Elements per parallel chunk of the aligned fast paths. Fixed so the
+/// decomposition is pool-width invariant; elementwise maps are bitwise
+/// order-independent anyway, but a fixed grain keeps the dispatch shape
+/// deterministic too.
+const ELEMWISE_GRAIN: usize = 32 * 1024;
+
 impl Tensor {
     /// Apply a binary elementwise kernel with NumPy broadcasting.
+    ///
+    /// Both paths run chunked on the parallel engine: the aligned
+    /// (same-shape) fast path zips the buffers directly, and the
+    /// broadcasting path walks precomputed broadcast strides with an
+    /// odometer counter — no per-element index materialization.
     ///
     /// # Errors
     ///
@@ -21,7 +33,7 @@ impl Tensor {
         &self,
         other: &Tensor,
         name: &'static str,
-        f: impl Fn(f32, f32) -> f32,
+        f: impl Fn(f32, f32) -> f32 + Sync,
     ) -> Result<Tensor, TensorError> {
         let out_shape = self.shape().broadcast(other.shape())?;
         let read_bytes = (self.numel() + other.numel()) as u64 * ELEM;
@@ -30,21 +42,42 @@ impl Tensor {
             OpCategory::VectorElementwise,
             || {
                 if self.shape() == other.shape() {
-                    // Fast path: aligned buffers.
-                    let data: Vec<f32> = self
-                        .data()
-                        .iter()
-                        .zip(other.data().iter())
-                        .map(|(a, b)| f(*a, *b))
-                        .collect();
+                    // Fast path: aligned buffers, chunked in parallel.
+                    let (a, b) = (self.data(), other.data());
+                    let mut data = vec![0.0f32; a.len()];
+                    par::fill_chunks(&mut data, ELEMWISE_GRAIN, |range, dst| {
+                        for ((d, x), y) in dst.iter_mut().zip(&a[range.clone()]).zip(&b[range]) {
+                            *d = f(*x, *y);
+                        }
+                    });
                     Tensor::from_vec_unchecked(data, out_shape.clone())
                 } else {
-                    let mut data = Vec::with_capacity(out_shape.numel());
-                    for idx in out_shape.indices() {
-                        let a = broadcast_fetch(self, &idx, &out_shape);
-                        let b = broadcast_fetch(other, &idx, &out_shape);
-                        data.push(f(a, b));
-                    }
+                    let out_dims = out_shape.dims();
+                    let sa = broadcast_strides(self.shape(), out_dims);
+                    let sb = broadcast_strides(other.shape(), out_dims);
+                    let (a, b) = (self.data(), other.data());
+                    let mut data = vec![0.0f32; out_shape.numel()];
+                    par::fill_chunks(&mut data, ELEMWISE_GRAIN, |range, dst| {
+                        let mut idx = linear_to_multi(range.start, out_dims);
+                        let mut off_a = offset_of(&idx, &sa);
+                        let mut off_b = offset_of(&idx, &sb);
+                        for d in dst {
+                            *d = f(a[off_a], b[off_b]);
+                            // Odometer increment: bump the innermost axis,
+                            // carrying into outer axes as they wrap.
+                            for axis in (0..out_dims.len()).rev() {
+                                idx[axis] += 1;
+                                off_a += sa[axis];
+                                off_b += sb[axis];
+                                if idx[axis] < out_dims[axis] {
+                                    break;
+                                }
+                                idx[axis] = 0;
+                                off_a -= sa[axis] * out_dims[axis];
+                                off_b -= sb[axis] * out_dims[axis];
+                            }
+                        }
+                    });
                     Tensor::from_vec_unchecked(data, out_shape.clone())
                 }
             },
@@ -60,13 +93,19 @@ impl Tensor {
         Ok(out)
     }
 
-    /// Apply a unary elementwise kernel.
-    pub fn unary_op(&self, name: &'static str, f: impl Fn(f32) -> f32) -> Tensor {
+    /// Apply a unary elementwise kernel (chunked on the parallel engine).
+    pub fn unary_op(&self, name: &'static str, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
         run_op(
             name,
             OpCategory::VectorElementwise,
             || {
-                let data: Vec<f32> = self.data().iter().map(|v| f(*v)).collect();
+                let src = self.data();
+                let mut data = vec![0.0f32; src.len()];
+                par::fill_chunks(&mut data, ELEMWISE_GRAIN, |range, dst| {
+                    for (d, s) in dst.iter_mut().zip(&src[range]) {
+                        *d = f(*s);
+                    }
+                });
                 Tensor::from_vec_unchecked(data, self.shape().clone())
             },
             |out| {
@@ -220,16 +259,36 @@ impl Tensor {
 
 /// Fetch the element of `t` that broadcasts to position `idx` of
 /// `out_shape`.
-fn broadcast_fetch(t: &Tensor, idx: &[usize], out_shape: &Shape) -> f32 {
-    let rank_diff = out_shape.rank() - t.rank();
-    let dims = t.dims();
-    let strides = t.shape().strides();
-    let mut off = 0usize;
-    for (axis, &d) in dims.iter().enumerate() {
-        let i = idx[axis + rank_diff];
-        off += if d == 1 { 0 } else { i * strides[axis] };
+/// Per-output-axis element strides of an operand under broadcasting:
+/// axes the operand lacks (left-padded) or has size 1 in get stride 0,
+/// so walking the output in row-major order re-reads the same operand
+/// element along broadcast axes.
+fn broadcast_strides(shape: &Shape, out_dims: &[usize]) -> Vec<usize> {
+    let dims = shape.dims();
+    let strides = shape.strides();
+    let rank_diff = out_dims.len() - dims.len();
+    let mut out = vec![0usize; out_dims.len()];
+    for (axis, (&d, s)) in dims.iter().zip(strides).enumerate() {
+        if d != 1 {
+            out[axis + rank_diff] = s;
+        }
     }
-    t.data()[off]
+    out
+}
+
+/// Decompose a row-major linear index into a multi-index over `dims`.
+fn linear_to_multi(linear: usize, dims: &[usize]) -> Vec<usize> {
+    let mut idx = vec![0usize; dims.len()];
+    let mut rem = linear;
+    for axis in (0..dims.len()).rev() {
+        idx[axis] = rem % dims[axis];
+        rem /= dims[axis];
+    }
+    idx
+}
+
+fn offset_of(idx: &[usize], strides: &[usize]) -> usize {
+    idx.iter().zip(strides).map(|(i, s)| i * s).sum()
 }
 
 #[cfg(test)]
@@ -247,6 +306,38 @@ mod tests {
         let a = t(&[1.0, 2.0], &[2]);
         let b = t(&[10.0, 20.0], &[2]);
         assert_eq!(a.add(&b).unwrap().data(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn broadcast_odometer_matches_naive_gather_across_chunks() {
+        // Output numel exceeds ELEMWISE_GRAIN so later chunks start at a
+        // nonzero linear index, exercising the start-offset decomposition.
+        let rows = 3;
+        let cols = ELEMWISE_GRAIN / 2;
+        let col_vals: Vec<f32> = (0..cols).map(|j| (j % 97) as f32).collect();
+        let row_vals: Vec<f32> = (0..rows).map(|i| 1000.0 * i as f32).collect();
+        let a = t(&col_vals, &[cols]);
+        let b = t(&row_vals, &[rows, 1]);
+        let c = b.add(&a).unwrap();
+        assert_eq!(c.dims(), &[rows, cols]);
+        for (i, rv) in row_vals.iter().enumerate() {
+            for j in (0..cols).step_by(1013) {
+                assert_eq!(c.data()[i * cols + j], rv + col_vals[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_mid_axis_size_one() {
+        // [2, 1, 3] + [2, 2, 3]: the middle axis broadcasts, so the
+        // operand's stride there must collapse to zero.
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 1, 3]);
+        let b = t(&[10.0; 12], &[2, 2, 3]);
+        let c = a.add(&b).unwrap();
+        assert_eq!(
+            c.data(),
+            &[11.0, 12.0, 13.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0, 14.0, 15.0, 16.0]
+        );
     }
 
     #[test]

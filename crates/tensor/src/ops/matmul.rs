@@ -3,36 +3,68 @@
 //! GEMM is the canonical compute-bound kernel of the neural phases: `2mnk`
 //! FLOPs over `(mk + kn + mn) × 4` bytes, so operational intensity grows
 //! with matrix size and clears GPU ridge points easily (Fig. 3c).
+//!
+//! All GEMM variants execute row-blocked on the parallel engine
+//! ([`crate::par`]): output rows are split into fixed-size blocks and each
+//! block runs the serial inner loops unchanged, so results are bitwise
+//! identical at every pool width.
+//!
+//! # FLOP accounting
+//!
+//! Kernels that skip zero `A` entries (`matmul`, `matmul_at`, `bmm`)
+//! report *effective* FLOPs — `2·nnz(A)·n`, the multiply–adds actually
+//! performed — rather than the dense `2·m·k·n` bound, so roofline points
+//! for sparse operands are not overstated. Dense-inner-loop kernels
+//! (`matmul_bt`, `matvec`) report the dense count.
 
 use crate::dense::Tensor;
 use crate::error::TensorError;
 use crate::instrument::{nnz, run_op, ELEM};
+use crate::par;
 use crate::shape::Shape;
 use nsai_core::profile::OpMeta;
 use nsai_core::taxonomy::OpCategory;
 
+/// Output rows per parallel chunk. Fixed (never derived from the thread
+/// count) so the decomposition — and the result bits — are pool-width
+/// invariant.
+const GEMM_ROW_GRAIN: usize = 4;
+
+/// Output elements per parallel chunk of `matvec`.
+const MATVEC_ROW_GRAIN: usize = 64;
+
+/// Elements per partial in the chunked `dot` reduction.
+const DOT_GRAIN: usize = 64 * 1024;
+
 fn gemm_kernel(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     // i-k-j loop order: streams B rows, keeps the accumulator row hot.
+    // Parallel over row blocks; each block is the serial loop verbatim.
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        for p in 0..k {
-            let aip = a[i * k + p];
-            if aip == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for j in 0..n {
-                o_row[j] += aip * b_row[j];
+    if n == 0 {
+        return out;
+    }
+    par::fill_chunks(&mut out, GEMM_ROW_GRAIN * n, |range, o_block| {
+        let i0 = range.start / n;
+        for (local, o_row) in o_block.chunks_mut(n).enumerate() {
+            let i = i0 + local;
+            for p in 0..k {
+                let aip = a[i * k + p];
+                if aip == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for j in 0..n {
+                    o_row[j] += aip * b_row[j];
+                }
             }
         }
-    }
+    });
     out
 }
 
-fn gemm_meta(out: &Tensor, m: usize, k: usize, n: usize) -> OpMeta {
+fn gemm_meta(out: &Tensor, a_nnz: u64, m: usize, k: usize, n: usize) -> OpMeta {
     OpMeta::new()
-        .flops(2 * (m * k * n) as u64)
+        .flops(2 * a_nnz * n as u64)
         .bytes_read(((m * k + k * n) as u64) * ELEM)
         .bytes_written((m * n) as u64 * ELEM)
         .output_elems(out.numel() as u64)
@@ -77,7 +109,7 @@ impl Tensor {
                 let data = gemm_kernel(self.data(), other.data(), m, k, n);
                 Tensor::from_vec_unchecked(data, Shape::new(&[m, n]))
             },
-            |out| gemm_meta(out, m, k, n),
+            |out| gemm_meta(out, nnz(self.data()), m, k, n),
         ))
     }
 
@@ -116,16 +148,22 @@ impl Tensor {
             OpCategory::MatMul,
             || {
                 let mut out = vec![0.0f32; m * n];
-                for (i, o_row) in out.chunks_mut(n).enumerate() {
-                    let a_row = &self.data()[i * k..(i + 1) * k];
-                    for (j, slot) in o_row.iter_mut().enumerate() {
-                        let b_row = &other.data()[j * k..(j + 1) * k];
-                        *slot = a_row.iter().zip(b_row).map(|(a, b)| a * b).sum::<f32>();
-                    }
+                if n > 0 {
+                    par::fill_chunks(&mut out, GEMM_ROW_GRAIN * n, |range, o_block| {
+                        let i0 = range.start / n;
+                        for (local, o_row) in o_block.chunks_mut(n).enumerate() {
+                            let a_row = &self.data()[(i0 + local) * k..(i0 + local + 1) * k];
+                            for (j, slot) in o_row.iter_mut().enumerate() {
+                                let b_row = &other.data()[j * k..(j + 1) * k];
+                                *slot = a_row.iter().zip(b_row).map(|(a, b)| a * b).sum::<f32>();
+                            }
+                        }
+                    });
                 }
                 Tensor::from_vec_unchecked(out, Shape::new(&[m, n]))
             },
-            |out| gemm_meta(out, m, k, n),
+            // Dense inner loops (no zero skip): dense FLOP count.
+            |out| gemm_meta(out, (m * k) as u64, m, k, n),
         ))
     }
 
@@ -162,23 +200,31 @@ impl Tensor {
             "sgemm_tn",
             OpCategory::MatMul,
             || {
+                // Output-row outer loop (parallel over row blocks); the
+                // per-(i,j) accumulation order over p is unchanged, so the
+                // result matches the p-outer serial formulation bitwise.
                 let mut out = vec![0.0f32; m * n];
-                for p in 0..k {
-                    let a_row = &self.data()[p * m..(p + 1) * m];
-                    let b_row = &other.data()[p * n..(p + 1) * n];
-                    for (i, &aip) in a_row.iter().enumerate() {
-                        if aip == 0.0 {
-                            continue;
+                if n > 0 {
+                    par::fill_chunks(&mut out, GEMM_ROW_GRAIN * n, |range, o_block| {
+                        let i0 = range.start / n;
+                        for (local, o_row) in o_block.chunks_mut(n).enumerate() {
+                            let i = i0 + local;
+                            for p in 0..k {
+                                let aip = self.data()[p * m + i];
+                                if aip == 0.0 {
+                                    continue;
+                                }
+                                let b_row = &other.data()[p * n..(p + 1) * n];
+                                for j in 0..n {
+                                    o_row[j] += aip * b_row[j];
+                                }
+                            }
                         }
-                        let o_row = &mut out[i * n..(i + 1) * n];
-                        for j in 0..n {
-                            o_row[j] += aip * b_row[j];
-                        }
-                    }
+                    });
                 }
                 Tensor::from_vec_unchecked(out, Shape::new(&[m, n]))
             },
-            |out| gemm_meta(out, m, k, n),
+            |out| gemm_meta(out, nnz(self.data()), m, k, n),
         ))
     }
 
@@ -208,10 +254,12 @@ impl Tensor {
             OpCategory::MatMul,
             || {
                 let mut out = vec![0.0f32; m];
-                for (i, slot) in out.iter_mut().enumerate() {
-                    let row = &self.data()[i * k..(i + 1) * k];
-                    *slot = row.iter().zip(v.data()).map(|(a, b)| a * b).sum();
-                }
+                par::fill_chunks(&mut out, MATVEC_ROW_GRAIN, |range, dst| {
+                    for (i, slot) in range.zip(dst.iter_mut()) {
+                        let row = &self.data()[i * k..(i + 1) * k];
+                        *slot = row.iter().zip(v.data()).map(|(a, b)| a * b).sum();
+                    }
+                });
                 Tensor::from_vec_unchecked(out, Shape::new(&[m]))
             },
             |out| {
@@ -266,7 +314,8 @@ impl Tensor {
             },
             |out| {
                 OpMeta::new()
-                    .flops(2 * (b * m * k * n) as u64)
+                    // Effective FLOPs: gemm_kernel skips zero A entries.
+                    .flops(2 * nnz(self.data()) * n as u64)
                     .bytes_read(((b * (m * k + k * n)) as u64) * ELEM)
                     .bytes_written((b * m * n) as u64 * ELEM)
                     .output_elems(out.numel() as u64)
@@ -338,11 +387,18 @@ impl Tensor {
             "dot",
             OpCategory::MatMul,
             || {
-                self.data()
-                    .iter()
-                    .zip(other.data())
-                    .map(|(a, b)| a * b)
-                    .sum::<f32>()
+                // Fixed-grain partials folded in chunk order: the float
+                // sum is identical at every pool width.
+                let (a, b) = (self.data(), other.data());
+                par::map_chunks(a.len(), DOT_GRAIN, |r| {
+                    a[r.clone()]
+                        .iter()
+                        .zip(&b[r])
+                        .map(|(x, y)| x * y)
+                        .sum::<f32>()
+                })
+                .into_iter()
+                .sum()
             },
             |_| {
                 OpMeta::new()
@@ -494,5 +550,42 @@ mod tests {
         assert_eq!(e.bytes_written, 8 * 4 * 4);
         // High operational intensity relative to elementwise.
         assert!(e.operational_intensity().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn gemm_flops_count_effective_work_on_sparse_inputs() {
+        let p = Profiler::new();
+        let mut a_data = vec![0.0f32; 8 * 16];
+        for v in a_data.iter_mut().take(4 * 16) {
+            *v = 1.0; // half the rows nonzero
+        }
+        let a = Tensor::from_vec(a_data, &[8, 16]).unwrap();
+        let b = Tensor::ones(&[16, 4]);
+        {
+            let _g = p.activate();
+            let _ = a.matmul(&b).unwrap();
+            let _ = a.matmul_bt(&Tensor::ones(&[4, 16])).unwrap();
+        }
+        // Zero-skipping kernel: 64 nonzeros in A → 2·64·4 effective FLOPs,
+        // not the dense 2·8·16·4 bound.
+        assert_eq!(p.events()[0].flops, 2 * 64 * 4);
+        // Dense-inner-loop kernel: full dense count regardless of zeros.
+        assert_eq!(p.events()[1].flops, 2 * 8 * 16 * 4);
+    }
+
+    #[test]
+    fn parallel_matmul_is_bitwise_equal_to_serial() {
+        let a = Tensor::rand_uniform(&[33, 17], -1.0, 1.0, 50);
+        let b = Tensor::rand_uniform(&[17, 21], -1.0, 1.0, 51);
+        let serial = crate::par::with_threads(1, || a.matmul(&b).unwrap());
+        for threads in [2, 4, 7] {
+            let parallel = crate::par::with_threads(threads, || a.matmul(&b).unwrap());
+            let same = serial
+                .data()
+                .iter()
+                .zip(parallel.data())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "threads={threads}");
+        }
     }
 }

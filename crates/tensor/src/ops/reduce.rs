@@ -8,9 +8,37 @@
 use crate::dense::Tensor;
 use crate::error::TensorError;
 use crate::instrument::{nnz, run_op, ELEM};
+use crate::par;
 use crate::shape::Shape;
 use nsai_core::profile::OpMeta;
 use nsai_core::taxonomy::OpCategory;
+
+/// Elements per partial in chunked full reductions. The same fixed-grain
+/// partials are produced in the serial and parallel paths and folded in
+/// chunk order on the caller, so the (non-associative) float result is
+/// identical at every pool width. Large enough that typical small tensors
+/// reduce in a single chunk, i.e. exactly the classic single-pass loop.
+const REDUCE_GRAIN: usize = 64 * 1024;
+
+/// Rows per parallel softmax chunk.
+const SOFTMAX_ROW_GRAIN: usize = 8;
+
+/// Deterministic chunked sum: fixed-grain partials folded in chunk order.
+fn chunked_sum(data: &[f32]) -> f32 {
+    par::map_chunks(data.len(), REDUCE_GRAIN, |r| data[r].iter().sum::<f32>())
+        .into_iter()
+        .sum()
+}
+
+/// Deterministic chunked fold with an associative-enough combiner
+/// (min/max): partials folded in chunk order.
+fn chunked_fold(data: &[f32], init: f32, f: impl Fn(f32, f32) -> f32 + Sync + Copy) -> f32 {
+    par::map_chunks(data.len(), REDUCE_GRAIN, |r| {
+        data[r].iter().cloned().fold(init, f)
+    })
+    .into_iter()
+    .fold(init, f)
+}
 
 impl Tensor {
     fn full_reduce(&self, name: &'static str, f: impl FnOnce(&[f32]) -> f32) -> f32 {
@@ -29,9 +57,9 @@ impl Tensor {
         )
     }
 
-    /// Sum of all elements.
+    /// Sum of all elements (chunked; identical at every pool width).
     pub fn sum(&self) -> f32 {
-        self.full_reduce("sum", |d| d.iter().sum())
+        self.full_reduce("sum", chunked_sum)
     }
 
     /// Mean of all elements (0.0 for empty tensors).
@@ -40,7 +68,7 @@ impl Tensor {
             return 0.0;
         }
         let n = self.numel() as f32;
-        self.full_reduce("mean", move |d| d.iter().sum::<f32>() / n)
+        self.full_reduce("mean", move |d| chunked_sum(d) / n)
     }
 
     /// Maximum element.
@@ -50,9 +78,7 @@ impl Tensor {
     /// Panics on an empty tensor.
     pub fn max(&self) -> f32 {
         assert!(self.numel() > 0, "max() of empty tensor");
-        self.full_reduce("max", |d| {
-            d.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
-        })
+        self.full_reduce("max", |d| chunked_fold(d, f32::NEG_INFINITY, f32::max))
     }
 
     /// Minimum element.
@@ -62,7 +88,7 @@ impl Tensor {
     /// Panics on an empty tensor.
     pub fn min(&self) -> f32 {
         assert!(self.numel() > 0, "min() of empty tensor");
-        self.full_reduce("min", |d| d.iter().cloned().fold(f32::INFINITY, f32::min))
+        self.full_reduce("min", |d| chunked_fold(d, f32::INFINITY, f32::min))
     }
 
     /// Index of the maximum element (first occurrence).
@@ -100,7 +126,15 @@ impl Tensor {
         run_op(
             "norm",
             OpCategory::VectorElementwise,
-            || self.data().iter().map(|v| v * v).sum::<f32>().sqrt(),
+            || {
+                let d = self.data();
+                par::map_chunks(d.len(), REDUCE_GRAIN, |r| {
+                    d[r].iter().map(|v| v * v).sum::<f32>()
+                })
+                .into_iter()
+                .sum::<f32>()
+                .sqrt()
+            },
             |_| {
                 OpMeta::new()
                     .flops(2 * n)
@@ -212,26 +246,31 @@ impl Tensor {
                 "softmax over empty axis".into(),
             ));
         }
-        let rows = self.numel() / last;
         let n = self.numel() as u64;
         Ok(run_op(
             "softmax",
             OpCategory::VectorElementwise,
             || {
+                // Rows are independent: parallel over row blocks, serial
+                // per-row arithmetic unchanged.
                 let mut out = vec![0.0f32; self.numel()];
-                for r in 0..rows {
-                    let row = &self.data()[r * last..(r + 1) * last];
-                    let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-                    let mut denom = 0.0f32;
-                    for (i, v) in row.iter().enumerate() {
-                        let e = (v - m).exp();
-                        out[r * last + i] = e;
-                        denom += e;
+                par::fill_chunks(&mut out, SOFTMAX_ROW_GRAIN * last, |range, dst| {
+                    let r0 = range.start / last;
+                    for (local, o_row) in dst.chunks_mut(last).enumerate() {
+                        let r = r0 + local;
+                        let row = &self.data()[r * last..(r + 1) * last];
+                        let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                        let mut denom = 0.0f32;
+                        for (i, v) in row.iter().enumerate() {
+                            let e = (v - m).exp();
+                            o_row[i] = e;
+                            denom += e;
+                        }
+                        for v in o_row.iter_mut() {
+                            *v /= denom;
+                        }
                     }
-                    for v in &mut out[r * last..(r + 1) * last] {
-                        *v /= denom;
-                    }
-                }
+                });
                 Tensor::from_vec_unchecked(out, self.shape().clone())
             },
             |out| {
@@ -341,14 +380,22 @@ impl Tensor {
             "cosine_similarity",
             OpCategory::VectorElementwise,
             || {
-                let mut dot = 0.0f32;
-                let mut na = 0.0f32;
-                let mut nb = 0.0f32;
-                for (a, b) in self.data().iter().zip(other.data()) {
-                    dot += a * b;
-                    na += a * a;
-                    nb += b * b;
-                }
+                let (av, bv) = (self.data(), other.data());
+                let (dot, na, nb) = par::map_chunks(av.len(), REDUCE_GRAIN, |r| {
+                    let mut dot = 0.0f32;
+                    let mut na = 0.0f32;
+                    let mut nb = 0.0f32;
+                    for (a, b) in av[r.clone()].iter().zip(&bv[r]) {
+                        dot += a * b;
+                        na += a * a;
+                        nb += b * b;
+                    }
+                    (dot, na, nb)
+                })
+                .into_iter()
+                .fold((0.0f32, 0.0f32, 0.0f32), |acc, p| {
+                    (acc.0 + p.0, acc.1 + p.1, acc.2 + p.2)
+                });
                 if na == 0.0 || nb == 0.0 {
                     0.0
                 } else {

@@ -1,0 +1,473 @@
+//! Parallel execution engine for the hot kernels.
+//!
+//! A persistent pool of worker threads executes kernels decomposed into
+//! *chunks*. Chunks are claimed by self-scheduling: every participating
+//! thread (the caller included) steals the next chunk index from a shared
+//! atomic counter until the range is exhausted, so load balances itself
+//! without per-chunk queues.
+//!
+//! # Determinism
+//!
+//! Parallel execution is **bitwise identical** to serial execution. Two
+//! invariants make that hold:
+//!
+//! 1. The chunk decomposition depends only on the problem size (fixed
+//!    grain constants), never on the thread count.
+//! 2. Each chunk writes a disjoint region of the output with the same
+//!    inner-loop order the serial kernel uses; reductions produce fixed-
+//!    grain partials that are folded in chunk order on the caller, in
+//!    *both* the serial and parallel paths.
+//!
+//! A pool width of 1 therefore runs the exact serial code path: the same
+//! chunks, in order, on the calling thread, with no pool involvement.
+//!
+//! # Thread-count control
+//!
+//! The pool width defaults to the `NEUROSYM_THREADS` environment variable
+//! (read once), falling back to [`std::thread::available_parallelism`].
+//! [`with_threads`] overrides it for the current thread only, which keeps
+//! concurrent tests from racing on global state.
+//!
+//! # Profiling across the pool
+//!
+//! Worker threads run with the submitting thread's profiling context
+//! propagated via [`nsai_core::profile::Scope`], so instrumented calls
+//! made inside a chunk (e.g. VSA similarity scans) are attributed to the
+//! caller's active profiler and phase. Events recorded on workers are
+//! buffered per worker and merged into the shared trace in one lock
+//! acquisition per job.
+
+use nsai_core::profile::Scope;
+use parking_lot::{Condvar, Mutex};
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Hard ceiling on the pool width, to bound worker spawns from
+/// misconfigured environments.
+pub const MAX_THREADS: usize = 64;
+
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("NEUROSYM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .min(MAX_THREADS)
+    })
+}
+
+thread_local! {
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The pool width parallel kernels on this thread will use: the
+/// [`with_threads`] override if one is installed, else `NEUROSYM_THREADS`,
+/// else the machine's available parallelism.
+pub fn current_threads() -> usize {
+    OVERRIDE.with(|c| c.get()).unwrap_or_else(env_threads)
+}
+
+/// Run `f` with the pool width pinned to `threads` on the current thread.
+///
+/// The override nests and is restored on exit (including panics). It is
+/// thread-local: concurrent callers on other threads are unaffected.
+pub fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    let threads = threads.clamp(1, MAX_THREADS);
+    let prev = OVERRIDE.with(|c| c.replace(Some(threads)));
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// A job broadcast to the pool: a type-erased chunk body plus the shared
+/// chunk counter, both with lifetimes erased to `'static`. Sound because
+/// the submitter blocks until every joined worker has finished.
+struct Job {
+    task: &'static (dyn Fn(usize) + Sync),
+    next: &'static AtomicUsize,
+    n_chunks: usize,
+    /// Worker slots still open on this job; joining decrements, and the
+    /// submitter zeroes it once all chunks are claimed so late wakers
+    /// skip the job.
+    slots: usize,
+    scope: Scope,
+}
+
+#[derive(Default)]
+struct Slot {
+    epoch: u64,
+    job: Option<Job>,
+    running: usize,
+    panicked: bool,
+    workers: usize,
+}
+
+struct Inner {
+    slot: Mutex<Slot>,
+    /// Workers wait here for a job to join.
+    work: Condvar,
+    /// Submitters wait here — for the slot to free up, and for their own
+    /// job's workers to drain.
+    done: Condvar,
+}
+
+fn pool() -> &'static Arc<Inner> {
+    static POOL: OnceLock<Arc<Inner>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        Arc::new(Inner {
+            slot: Mutex::new(Slot::default()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        })
+    })
+}
+
+fn worker_loop(inner: Arc<Inner>) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let (task, next, n_chunks, scope, epoch) = {
+            let mut slot = inner.slot.lock();
+            loop {
+                let epoch = slot.epoch;
+                if let Some(job) = slot.job.as_mut() {
+                    if epoch != seen_epoch && job.slots > 0 {
+                        job.slots -= 1;
+                        let picked = (job.task, job.next, job.n_chunks, job.scope.clone(), epoch);
+                        slot.running += 1;
+                        break picked;
+                    }
+                }
+                inner.work.wait(&mut slot);
+            }
+        };
+        seen_epoch = epoch;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _scope = scope.enter();
+            IN_PARALLEL.with(|c| c.set(true));
+            loop {
+                let chunk = next.fetch_add(1, Ordering::Relaxed);
+                if chunk >= n_chunks {
+                    break;
+                }
+                task(chunk);
+            }
+        }));
+        IN_PARALLEL.with(|c| c.set(false));
+        let mut slot = inner.slot.lock();
+        if result.is_err() {
+            slot.panicked = true;
+        }
+        slot.running -= 1;
+        if slot.running == 0 {
+            inner.done.notify_all();
+        }
+    }
+}
+
+fn run_pooled(width: usize, n_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
+    let inner = pool();
+    let next = AtomicUsize::new(0);
+    // SAFETY: the lifetimes of `task` and `next` are erased to 'static so
+    // they can sit in the shared job slot. The `Finish` guard below keeps
+    // this frame alive until `running == 0`, i.e. until no worker can
+    // still dereference them — including when a chunk panics.
+    let task_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+    let next_static: &'static AtomicUsize =
+        unsafe { std::mem::transmute::<&AtomicUsize, &'static AtomicUsize>(&next) };
+    let scope = Scope::capture();
+    {
+        let mut slot = inner.slot.lock();
+        while slot.job.is_some() {
+            inner.done.wait(&mut slot);
+        }
+        while slot.workers < width - 1 {
+            let inner = Arc::clone(inner);
+            std::thread::Builder::new()
+                .name("nsai-par".into())
+                .spawn(move || worker_loop(inner))
+                .expect("spawn pool worker");
+            slot.workers += 1;
+        }
+        slot.epoch = slot.epoch.wrapping_add(1);
+        slot.panicked = false;
+        slot.job = Some(Job {
+            task: task_static,
+            next: next_static,
+            n_chunks,
+            slots: width - 1,
+            scope,
+        });
+    }
+    inner.work.notify_all();
+
+    struct Finish<'a>(&'a Inner);
+    impl Drop for Finish<'_> {
+        fn drop(&mut self) {
+            let mut slot = self.0.slot.lock();
+            if let Some(job) = slot.job.as_mut() {
+                job.slots = 0;
+            }
+            while slot.running > 0 {
+                self.0.done.wait(&mut slot);
+            }
+            slot.job = None;
+            let panicked = slot.panicked;
+            slot.panicked = false;
+            drop(slot);
+            self.0.done.notify_all();
+            if panicked && !std::thread::panicking() {
+                panic!("a pool worker panicked while executing a parallel chunk");
+            }
+        }
+    }
+    let _finish = Finish(inner);
+
+    IN_PARALLEL.with(|c| c.set(true));
+    struct ClearFlag;
+    impl Drop for ClearFlag {
+        fn drop(&mut self) {
+            IN_PARALLEL.with(|c| c.set(false));
+        }
+    }
+    let _clear = ClearFlag;
+    loop {
+        let chunk = next.fetch_add(1, Ordering::Relaxed);
+        if chunk >= n_chunks {
+            break;
+        }
+        task(chunk);
+    }
+}
+
+/// Execute `task(0..n_chunks)` with each chunk run exactly once.
+///
+/// At pool width 1 (or when already inside a parallel region, to avoid
+/// nested submission) the chunks run in order on the calling thread —
+/// the exact serial code path. Otherwise the caller and up to
+/// `width - 1` pool workers claim chunks from a shared counter.
+pub fn parallel_for(n_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
+    if n_chunks == 0 {
+        return;
+    }
+    let width = current_threads().min(n_chunks);
+    if width <= 1 || IN_PARALLEL.with(|c| c.get()) {
+        for chunk in 0..n_chunks {
+            task(chunk);
+        }
+        return;
+    }
+    run_pooled(width, n_chunks, task);
+}
+
+/// Number of fixed-`grain` chunks covering `len` items.
+pub fn chunk_count(len: usize, grain: usize) -> usize {
+    len.div_ceil(grain.max(1))
+}
+
+/// Item range of chunk `chunk` under a fixed `grain` decomposition.
+pub fn chunk_range(len: usize, grain: usize, chunk: usize) -> Range<usize> {
+    let grain = grain.max(1);
+    let start = chunk * grain;
+    start..len.min(start + grain)
+}
+
+/// A shared view of a mutable slice that concurrent chunks write at
+/// provably-disjoint positions.
+pub(crate) struct UnsafeSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access is coordinated by the chunk decomposition — callers
+// uphold disjointness via the `unsafe` accessors below.
+unsafe impl<T: Send> Sync for UnsafeSlice<'_, T> {}
+unsafe impl<T: Send> Send for UnsafeSlice<'_, T> {}
+
+impl<'a, T> UnsafeSlice<'a, T> {
+    pub fn new(slice: &'a mut [T]) -> Self {
+        UnsafeSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Mutable access to `range`.
+    ///
+    /// # Safety
+    ///
+    /// Concurrent callers must access disjoint ranges.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn range_mut(&self, range: Range<usize>) -> &mut [T] {
+        debug_assert!(range.start <= range.end && range.end <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.len())
+    }
+
+    /// Write one element.
+    ///
+    /// # Safety
+    ///
+    /// Each index must be written by at most one concurrent caller.
+    pub unsafe fn write(&self, index: usize, value: T) {
+        debug_assert!(index < self.len);
+        *self.ptr.add(index) = value;
+    }
+}
+
+/// Fill `out` by fixed-`grain` chunks: `fill` receives each chunk's item
+/// range and the matching destination sub-slice (in that order, already
+/// zero/default-initialized by the caller).
+pub(crate) fn fill_chunks<T: Send>(
+    out: &mut [T],
+    grain: usize,
+    fill: impl Fn(Range<usize>, &mut [T]) + Sync,
+) {
+    let len = out.len();
+    let n_chunks = chunk_count(len, grain);
+    let slice = UnsafeSlice::new(out);
+    parallel_for(n_chunks, &|chunk| {
+        let range = chunk_range(len, grain, chunk);
+        // SAFETY: chunk ranges are disjoint and each chunk index is
+        // claimed exactly once.
+        let dst = unsafe { slice.range_mut(range.clone()) };
+        fill(range, dst);
+    });
+}
+
+/// Map fixed-`grain` chunks of `0..len` to partial values, returned in
+/// chunk order. The building block for deterministic parallel reductions:
+/// fold the returned partials sequentially, and the result is independent
+/// of the pool width because the decomposition is.
+pub fn map_chunks<T: Send + Default + Clone>(
+    len: usize,
+    grain: usize,
+    f: impl Fn(Range<usize>) -> T + Sync,
+) -> Vec<T> {
+    let n_chunks = chunk_count(len, grain);
+    let mut out = vec![T::default(); n_chunks];
+    let slice = UnsafeSlice::new(&mut out);
+    parallel_for(n_chunks, &|chunk| {
+        let value = f(chunk_range(len, grain, chunk));
+        // SAFETY: each chunk index is claimed exactly once.
+        unsafe { slice.write(chunk, value) };
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn every_chunk_runs_exactly_once() {
+        for threads in [1, 2, 4, 7] {
+            let counts: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+            with_threads(threads, || {
+                parallel_for(97, &|c| {
+                    counts[c].fetch_add(1, Ordering::Relaxed);
+                });
+            });
+            assert!(
+                counts.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outer = current_threads();
+        with_threads(3, || {
+            assert_eq!(current_threads(), 3);
+            with_threads(5, || assert_eq!(current_threads(), 5));
+            assert_eq!(current_threads(), 3);
+        });
+        assert_eq!(current_threads(), outer);
+    }
+
+    #[test]
+    fn map_chunks_preserves_chunk_order() {
+        for threads in [1, 4] {
+            let partials = with_threads(threads, || map_chunks(103, 10, |r| (r.start, r.end)));
+            assert_eq!(partials.len(), 11);
+            assert_eq!(partials[0], (0, 10));
+            assert_eq!(partials[10], (100, 103));
+        }
+    }
+
+    #[test]
+    fn fill_chunks_writes_disjoint_regions() {
+        let mut out = vec![0u64; 1000];
+        with_threads(4, || {
+            fill_chunks(&mut out, 7, |range, dst| {
+                for (i, v) in range.zip(dst.iter_mut()) {
+                    *v = i as u64 * 3;
+                }
+            });
+        });
+        assert!(out.iter().enumerate().all(|(i, v)| *v == i as u64 * 3));
+    }
+
+    #[test]
+    fn nested_parallel_for_runs_serial_without_deadlock() {
+        let total = AtomicU64::new(0);
+        with_threads(4, || {
+            parallel_for(8, &|_| {
+                parallel_for(8, &|_| {
+                    total.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn concurrent_submitters_from_user_threads() {
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        let sum = with_threads(3, || {
+                            map_chunks(256, 16, |r| r.len()).into_iter().sum::<usize>()
+                        });
+                        assert_eq!(sum, 256);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_submitter() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                parallel_for(16, &|c| {
+                    if c == 7 {
+                        panic!("boom");
+                    }
+                });
+            });
+        });
+        assert!(result.is_err());
+        // The pool must still be usable afterwards.
+        let partials = with_threads(4, || map_chunks(64, 4, |r| r.len()));
+        assert_eq!(partials.iter().sum::<usize>(), 64);
+    }
+}

@@ -1,0 +1,119 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the `crossbeam::scope` structured-concurrency API this
+//! workspace uses, implemented over `std::thread::scope` (stable since
+//! Rust 1.63, which post-dates crossbeam's scoped threads and obsoletes
+//! most uses of them). Only the surface actually exercised here is
+//! reproduced: `scope`, `Scope::spawn` (the closure receives the scope
+//! again, crossbeam-style), and `ScopedJoinHandle::join`.
+
+use std::any::Any;
+use std::marker::PhantomData;
+
+/// Error payload of a panicked scope: the first captured panic.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// A scope handle passed to [`scope`] closures; spawn scoped threads
+/// through it.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    _marker: PhantomData<&'env ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread borrowing from the enclosing scope. As in crossbeam,
+    /// the closure receives the scope so it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || {
+                let scope = Scope {
+                    inner,
+                    _marker: PhantomData,
+                };
+                f(&scope)
+            }),
+        }
+    }
+}
+
+impl std::fmt::Debug for Scope<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Scope { .. }")
+    }
+}
+
+/// Handle to a scoped thread; `join` returns the closure's output.
+#[derive(Debug)]
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the thread and return its result (`Err` on panic).
+    pub fn join(self) -> Result<T, PanicPayload> {
+        self.inner.join()
+    }
+}
+
+/// Create a scope in which threads may borrow non-`'static` data. All
+/// spawned threads are joined before `scope` returns. Mirrors crossbeam's
+/// signature: the result is `Err` if any *unjoined* thread panicked (with
+/// `std::thread::scope` underneath, an unjoined panicking thread aborts
+/// the scope by propagating the panic, so in practice `Ok` is returned
+/// whenever `f` completes).
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| {
+        let scope = Scope {
+            inner: s,
+            _marker: PhantomData,
+        };
+        f(&scope)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .sum::<u64>()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let out = scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().map(|v| v * 2).unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn join_reports_panics() {
+        let res = scope(|s| s.spawn(|_| panic!("boom")).join());
+        assert!(res.expect("scope itself succeeds").is_err());
+    }
+}

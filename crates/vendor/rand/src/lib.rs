@@ -1,0 +1,412 @@
+//! Offline stand-in for the `rand` crate (0.8 API surface).
+//!
+//! The build environment cannot reach crates.io, so this workspace vendors
+//! the slice of `rand` it uses: [`Rng`] (`gen`, `gen_range`, `gen_bool`),
+//! [`SeedableRng`] (`seed_from_u64`, `from_seed`), [`rngs::StdRng`],
+//! [`distributions`] (`Distribution`, `Uniform`, `Standard`), and
+//! [`seq::SliceRandom`] (`shuffle`, `choose`).
+//!
+//! The generator is **xoshiro256++** seeded through SplitMix64 — a
+//! high-quality, widely used PRNG. It is *not* stream-compatible with the
+//! real `StdRng` (ChaCha12); nothing in this workspace depends on the
+//! exact stream, only on determinism: the same seed always yields the
+//! same sequence, across platforms and runs.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    //! Named generator types (`StdRng`).
+    pub use crate::StdRng;
+}
+
+/// Types that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Build from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64` seed (SplitMix64-expanded).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let v = sm.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// The standard deterministic generator (xoshiro256++ under the hood).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    fn next_u64_impl(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, slot) in s.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *slot = u64::from_le_bytes(b);
+        }
+        // An all-zero state would be a fixed point; nudge it.
+        if s == [0, 0, 0, 0] {
+            s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+        }
+        StdRng { s }
+    }
+}
+
+/// The core random-generation trait.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniformly distributed value of `T` (via the [`Standard`]
+    /// distribution: floats in `[0, 1)`, integers over their full range).
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+        Self: Sized,
+    {
+        Standard.sample(self)
+    }
+
+    /// A value uniformly distributed over `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: Into<UniformRange<T>>,
+        Self: Sized,
+    {
+        let r = range.into();
+        T::sample_uniform(&r, self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool probability {p}");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Convert 64 random bits to a uniform `f64` in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Convert 64 random bits to a uniform `f32` in `[0, 1)`.
+fn unit_f32(bits: u64) -> f32 {
+    (bits >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+}
+
+/// A resolved uniform sampling range (half-open or inclusive).
+#[derive(Debug, Clone, Copy)]
+pub struct UniformRange<T> {
+    lo: T,
+    hi: T,
+    inclusive: bool,
+}
+
+impl<T: Copy + PartialOrd> From<Range<T>> for UniformRange<T> {
+    fn from(r: Range<T>) -> Self {
+        assert!(r.start < r.end, "gen_range called with empty range");
+        UniformRange {
+            lo: r.start,
+            hi: r.end,
+            inclusive: false,
+        }
+    }
+}
+
+impl<T: Copy + PartialOrd> From<RangeInclusive<T>> for UniformRange<T> {
+    fn from(r: RangeInclusive<T>) -> Self {
+        assert!(r.start() <= r.end(), "gen_range called with empty range");
+        UniformRange {
+            lo: *r.start(),
+            hi: *r.end(),
+            inclusive: true,
+        }
+    }
+}
+
+/// Types uniformly sampleable over a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draw one value in `range` from `rng`.
+    fn sample_uniform<R: Rng + ?Sized>(range: &UniformRange<Self>, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: Rng + ?Sized>(range: &UniformRange<Self>, rng: &mut R) -> Self {
+                let lo = range.lo as i128;
+                let hi = range.hi as i128;
+                let span = (hi - lo + if range.inclusive { 1 } else { 0 }) as u128;
+                debug_assert!(span > 0);
+                // Multiply-shift rejection-free mapping (Lemire); bias is
+                // < 2^-64 per draw, far below anything observable here.
+                let hi128 = (rng.next_u64() as u128).wrapping_mul(span) >> 64;
+                (lo + hi128 as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f32 {
+    fn sample_uniform<R: Rng + ?Sized>(range: &UniformRange<Self>, rng: &mut R) -> Self {
+        let u = unit_f32(rng.next_u64());
+        let v = range.lo + (range.hi - range.lo) * u;
+        // Guard against rounding up to an excluded upper bound.
+        if !range.inclusive && v >= range.hi {
+            range.lo
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: Rng + ?Sized>(range: &UniformRange<Self>, rng: &mut R) -> Self {
+        let u = unit_f64(rng.next_u64());
+        let v = range.lo + (range.hi - range.lo) * u;
+        if !range.inclusive && v >= range.hi {
+            range.lo
+        } else {
+            v
+        }
+    }
+}
+
+pub mod distributions {
+    //! Distribution sampling (`Distribution`, `Uniform`, `Standard`).
+
+    use super::{Rng, SampleUniform, UniformRange};
+
+    /// Types that produce values of `T` from a generator.
+    pub trait Distribution<T> {
+        /// Draw one value.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The uniform distribution over a fixed range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T>(UniformRange<T>);
+
+    impl<T: SampleUniform> Uniform<T> {
+        /// Uniform over `[lo, hi)`.
+        pub fn new(lo: T, hi: T) -> Self {
+            Uniform((lo..hi).into())
+        }
+
+        /// Uniform over `[lo, hi]`.
+        pub fn new_inclusive(lo: T, hi: T) -> Self {
+            Uniform((lo..=hi).into())
+        }
+    }
+
+    impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+            T::sample_uniform(&self.0, rng)
+        }
+    }
+
+    /// The "natural" distribution: `[0, 1)` for floats, full range for
+    /// integers, fair coin for `bool`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            super::unit_f32(rng.next_u64())
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            super::unit_f64(rng.next_u64())
+        }
+    }
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub use distributions::{Distribution, Standard};
+
+pub mod seq {
+    //! Slice sampling and shuffling (`SliceRandom`).
+
+    use super::Rng;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// A uniformly chosen element, or `None` if empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..7);
+            assert!((3..7).contains(&v));
+            let f: f32 = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let i = rng.gen_range(5..=5);
+            assert_eq!(i, 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "{heads}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0) || true));
+    }
+
+    #[test]
+    fn uniform_distribution_covers_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Uniform::new(10u8, 20u8);
+        for _ in 0..500 {
+            let v = d.sample(&mut rng);
+            assert!((10..20).contains(&v));
+        }
+        let di = Uniform::new_inclusive(0u8, 1u8);
+        let ones = (0..1000).filter(|_| di.sample(&mut rng) == 1).count();
+        assert!((300..700).contains(&ones), "{ones}");
+    }
+
+    #[test]
+    fn shuffle_and_choose_are_deterministic_per_seed() {
+        let mut v1: Vec<u32> = (0..16).collect();
+        let mut v2: Vec<u32> = (0..16).collect();
+        v1.shuffle(&mut StdRng::seed_from_u64(9));
+        v2.shuffle(&mut StdRng::seed_from_u64(9));
+        assert_eq!(v1, v2);
+        let mut sorted = v1.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+        let mut rng = StdRng::seed_from_u64(10);
+        assert!(v1.choose(&mut rng).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,567 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment cannot reach crates.io, so this workspace vendors
+//! a compact serialization framework under serde's names. Instead of
+//! serde's visitor-based zero-copy data model, everything funnels through
+//! an owned JSON [`Value`] tree:
+//!
+//! - [`Serialize`] is `fn to_json(&self) -> Value`;
+//! - [`Deserialize`] is `fn from_json(&Value) -> Result<Self, Error>`;
+//! - `#[derive(Serialize, Deserialize)]` (from the vendored
+//!   `serde_derive`) maps named-field structs to JSON objects and
+//!   fieldless enums to strings, exactly like real serde's default
+//!   representation, so the JSON this workspace emits stays
+//!   interchangeable with the real crates;
+//! - `#[serde(with = "module")]` on a field delegates to
+//!   `module::to_json(&field) -> Value` and
+//!   `module::from_json(&Value) -> Result<T, Error>`.
+//!
+//! The `serde_json` shim crate layers text parsing/printing and the
+//! `json!` macro on top of this [`Value`].
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::time::Duration;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON document tree — the interchange data model of the
+/// vendored serde stack. Object fields keep insertion order so emitted
+/// JSON is stable and matches struct declaration order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (negative integers parse to this).
+    I64(i64),
+    /// Unsigned integer (non-negative integers parse to this).
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object, as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+/// Serialization/deserialization failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Build an error from anything displayable.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Value {
+    /// Object field lookup (`None` for missing keys or non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Array element lookup.
+    pub fn get_index(&self, index: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(index),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup as a `Result` (for derived `from_json`).
+    pub fn field(&self, key: &str) -> Result<&Value, Error> {
+        self.get(key)
+            .ok_or_else(|| Error(format!("missing field `{key}`")))
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric value widened to `f64` (from any number variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::I64(v) => Some(*v as f64),
+            Value::U64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64`, if non-negative and integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `i64`, if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            Value::U64(v) if *v <= i64::MAX as u64 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's object fields, if it is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, index: usize) -> &Value {
+        self.get_index(index).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+/// Numbers compare across JSON representations, as in `serde_json`:
+/// `Value::U64(1) == 1i32` and `Value::U64(1) == 1.0f64` both hold.
+macro_rules! impl_value_eq_num {
+    ($($ty:ty),*) => {$(
+        impl PartialEq<$ty> for Value {
+            #[allow(clippy::cast_lossless)]
+            fn eq(&self, other: &$ty) -> bool {
+                self.as_f64() == Some(*other as f64)
+            }
+        }
+    )*};
+}
+
+impl_value_eq_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Types that can be turned into a JSON [`Value`].
+pub trait Serialize {
+    /// Convert to the JSON data model.
+    fn to_json(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Parse from the JSON data model.
+    fn from_json(v: &Value) -> Result<Self, Error>;
+}
+
+fn type_err<T>(expected: &str, v: &Value) -> Result<T, Error> {
+    Err(Error(format!("expected {expected}, found {}", v.kind())))
+}
+
+impl Serialize for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_bool().map_or_else(|| type_err("bool", v), Ok)
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_u64().ok_or_else(|| Error(format!(
+                    "expected unsigned integer, found {}", v.kind())))?;
+                <$t>::try_from(raw).map_err(|_| Error(format!(
+                    "integer {raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_i64().ok_or_else(|| Error(format!(
+                    "expected integer, found {}", v.kind())))?;
+                <$t>::try_from(raw).map_err(|_| Error(format!(
+                    "integer {raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Value {
+        if self.is_finite() {
+            Value::F64(*self)
+        } else {
+            // Match serde_json's `Value::from(f64)`: non-finite → null.
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_f64().map_or_else(|| type_err("number", v), Ok)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Value {
+        (*self as f64).to_json()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        Ok(f64::from_json(v)? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map_or_else(|| type_err("string", v), |s| Ok(s.to_owned()))
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_json(v)?;
+        let got = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error(format!("expected array of length {N}, found {got}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_json(v).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        match v.as_array() {
+            Some(items) => items.iter().map(T::from_json).collect(),
+            None => type_err("array", v),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_json(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        match v.as_object() {
+            Some(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_json(v)?)))
+                .collect(),
+            None => type_err("object", v),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_json(&self) -> Value {
+        // Sort keys for deterministic output.
+        let mut fields: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        match v.as_object() {
+            Some(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_json(v)?)))
+                .collect(),
+            None => type_err("object", v),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array()
+                    .ok_or_else(|| Error(format!("expected array, found {}", v.kind())))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error(format!(
+                        "expected {expected}-tuple, found array of {}", items.len())));
+                }
+                Ok(($($name::from_json(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Duration {
+    fn to_json(&self) -> Value {
+        // Matches real serde's Duration representation.
+        Value::Object(vec![
+            ("secs".to_owned(), Value::U64(self.as_secs())),
+            ("nanos".to_owned(), Value::U64(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        let secs = u64::from_json(v.field("secs")?)?;
+        let nanos = u32::from_json(v.field("nanos")?)?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors_and_indexing() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::U64(3)),
+            ("b".into(), Value::Array(vec![Value::Str("x".into())])),
+        ]);
+        assert_eq!(v["a"].as_u64(), Some(3));
+        assert_eq!(v["b"][0].as_str(), Some("x"));
+        assert!(v["missing"].is_null());
+        assert_eq!(v.field("a").unwrap().as_f64(), Some(3.0));
+        assert!(v.field("zzz").is_err());
+    }
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u64::from_json(&42u64.to_json()).unwrap(), 42);
+        assert_eq!(i32::from_json(&(-7i32).to_json()).unwrap(), -7);
+        assert_eq!(f32::from_json(&1.5f32.to_json()).unwrap(), 1.5);
+        assert_eq!(bool::from_json(&true.to_json()).unwrap(), true);
+        assert_eq!(
+            String::from_json(&"hi".to_string().to_json()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<u8>::from_json(&None::<u8>.to_json()).unwrap(),
+            None
+        );
+        assert!(u8::from_json(&Value::U64(999)).is_err());
+        assert!(u64::from_json(&Value::Str("no".into())).is_err());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_json(&v.to_json()).unwrap(), v);
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), 9u64);
+        assert_eq!(BTreeMap::<String, u64>::from_json(&m.to_json()).unwrap(), m);
+        let t = (1u64, "s".to_string());
+        assert_eq!(<(u64, String)>::from_json(&t.to_json()).unwrap(), t);
+    }
+
+    #[test]
+    fn duration_matches_serde_layout() {
+        let d = Duration::new(3, 500);
+        let v = d.to_json();
+        assert_eq!(v["secs"].as_u64(), Some(3));
+        assert_eq!(v["nanos"].as_u64(), Some(500));
+        assert_eq!(Duration::from_json(&v).unwrap(), d);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert!(f64::NAN.to_json().is_null());
+        assert!(f64::INFINITY.to_json().is_null());
+    }
+}

@@ -1,0 +1,306 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! vendored value-model `serde` without depending on `syn`/`quote`
+//! (unavailable offline): the item's token stream is parsed by hand and
+//! the generated impl is assembled as source text.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//!
+//! - structs with named fields (any visibility), mapped to JSON objects
+//!   with fields in declaration order;
+//! - fieldless enums, mapped to the variant name as a JSON string;
+//! - the `#[serde(with = "module")]` field attribute, delegating to
+//!   `module::to_json` / `module::from_json`.
+//!
+//! Generics, tuple structs, and data-carrying enums are rejected with a
+//! compile error naming this file, so a future use of an unsupported
+//! shape fails loudly instead of silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Derive the vendored `serde::Serialize` (`to_json`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| match &f.with {
+                    Some(module) => format!(
+                        "fields.push(({:?}.to_string(), {module}::to_json(&self.{})));\n",
+                        f.name, f.name
+                    ),
+                    None => format!(
+                        "fields.push(({:?}.to_string(), ::serde::Serialize::to_json(&self.{})));\n",
+                        f.name, f.name
+                    ),
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json(&self) -> ::serde::Value {{\n\
+                         let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Derive the vendored `serde::Deserialize` (`from_json`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| match &f.with {
+                    Some(module) => format!(
+                        "{}: {module}::from_json(v.field({:?})?)?,\n",
+                        f.name, f.name
+                    ),
+                    None => format!(
+                        "{}: ::serde::Deserialize::from_json(v.field({:?})?)?,\n",
+                        f.name, f.name
+                    ),
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let s = v.as_str().ok_or_else(|| ::serde::Error::msg(\
+                             format!(\"expected {name} variant string, found {{}}\", v.kind())))?;\n\
+                         match s {{\n\
+                             {arms}\
+                             other => ::std::result::Result::Err(::serde::Error::msg(\
+                                 format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Parse the derive input: skip attributes/visibility, find
+/// `struct`/`enum`, the type name, and the brace-delimited body.
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut kind: Option<&'static str> = None;
+    let mut name = String::new();
+    let mut body: Option<TokenStream> = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+                continue;
+            }
+            TokenTree::Ident(id) if kind.is_none() => {
+                let word = id.to_string();
+                if word == "struct" {
+                    kind = Some("struct");
+                } else if word == "enum" {
+                    kind = Some("enum");
+                }
+                // `pub`, `pub(crate)` etc. fall through.
+                i += 1;
+            }
+            TokenTree::Ident(id) if name.is_empty() => {
+                name = id.to_string();
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("vendored serde_derive does not support generic type `{name}`");
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                body = Some(g.stream());
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let body = body.unwrap_or_else(|| {
+        panic!("vendored serde_derive: no braced body found (tuple/unit types unsupported)")
+    });
+    match kind {
+        Some("struct") => Item::Struct {
+            name,
+            fields: parse_fields(body),
+        },
+        Some("enum") => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        _ => panic!("vendored serde_derive: expected struct or enum"),
+    }
+}
+
+/// Extract `with = "module"` from a `#[serde(...)]` attribute body.
+fn serde_with_of(attr_body: TokenStream) -> Option<String> {
+    let toks: Vec<TokenTree> = attr_body.into_iter().collect();
+    // Looking at the *content* of `serde(...)`: `with = "module"`.
+    let mut j = 0;
+    while j < toks.len() {
+        if let TokenTree::Ident(id) = &toks[j] {
+            if id.to_string() == "with" && j + 2 < toks.len() {
+                if let TokenTree::Literal(lit) = &toks[j + 2] {
+                    let raw = lit.to_string();
+                    return Some(raw.trim_matches('"').to_string());
+                }
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Leading attributes: capture #[serde(with = "...")], skip others.
+        let mut with = None;
+        loop {
+            match (&tokens.get(i), &tokens.get(i + 1)) {
+                (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                        (inner.first(), inner.get(1))
+                    {
+                        if id.to_string() == "serde" {
+                            if let Some(w) = serde_with_of(args.stream()) {
+                                with = Some(w);
+                            }
+                        }
+                    }
+                    i += 2;
+                }
+                _ => break,
+            }
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        // Visibility: `pub` possibly followed by a paren group.
+        if let TokenTree::Ident(id) = &tokens[i] {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // Field name and `:`.
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("vendored serde_derive: expected field name, found `{other}`"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!(
+                "vendored serde_derive: expected `:` after field `{name}`, found `{other}` \
+                 (tuple structs unsupported)"
+            ),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, with });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes (doc comments on variants).
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("vendored serde_derive: expected variant name, found `{other}`"),
+        };
+        i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            if g.delimiter() != Delimiter::Brace || !g.stream().is_empty() {
+                panic!("vendored serde_derive: enum variant `{name}` carries data — unsupported");
+            }
+        }
+        // Consume to the next top-level comma (covers `= discriminant`).
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(name);
+    }
+    variants
+}

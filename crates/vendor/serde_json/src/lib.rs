@@ -1,0 +1,527 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Serializes the vendored [`serde::Value`] data model to JSON text and
+//! parses JSON text back, covering the API surface this workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`from_str`], [`to_value`], the
+//! [`json!`] macro, and the [`Value`]/[`Error`] re-exports.
+//!
+//! Numbers print like `serde_json`'s: integers bare, floats via Rust's
+//! shortest round-trippable `{:?}` form (so `100.0` stays `100.0`, not
+//! `100`). Parsing classifies integral literals as unsigned/signed
+//! integers and everything with a fraction or exponent as `F64`.
+
+pub use serde::{Error, Value};
+
+/// Serialize a value to compact JSON text.
+///
+/// # Errors
+///
+/// Returns [`Error`] if the value cannot be represented (unreachable for
+/// the types in this workspace; kept for API parity).
+pub fn to_string<T: ?Sized + serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_json(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize a value to human-readable JSON text (2-space indent).
+///
+/// # Errors
+///
+/// Returns [`Error`] if the value cannot be represented (unreachable for
+/// the types in this workspace; kept for API parity).
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_json(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`Error`] if conversion fails (unreachable here; API parity).
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_json())
+}
+
+/// Parse a value from JSON text.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!("trailing characters at byte {}", p.pos)));
+    }
+    T::from_json(&v)
+}
+
+// ---------------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------------
+
+fn write_value(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                // `{:?}` keeps the decimal point: 100.0 -> "100.0".
+                out.push_str(&format!("{x:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                write_value(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                write_string(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(Error::msg(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.eat_keyword("null", Value::Null),
+            Some(b't') => self.eat_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            other => Err(Error::msg(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let rest = &self.bytes[self.pos..];
+            let Some(&b) = rest.first() else {
+                return Err(Error::msg("unterminated string".to_string()));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::msg("unterminated escape".to_string()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'b' => s.push('\u{08}'),
+                        b'f' => s.push('\u{0c}'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| Error::msg("bad \\u escape".to_string()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::msg("bad \\u escape".to_string()))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by this
+                            // crate's printer; reject rather than mangle.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| Error::msg("unpaired surrogate".to_string()))?;
+                            s.push(c);
+                        }
+                        other => {
+                            return Err(Error::msg(format!("bad escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 code point.
+                    let tail = std::str::from_utf8(rest)
+                        .map_err(|_| Error::msg("invalid UTF-8".to_string()))?;
+                    let c = tail.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("invalid number".to_string()))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// json! macro
+// ---------------------------------------------------------------------------
+
+/// Build a [`Value`] from a JSON-like literal, as in `serde_json`.
+///
+/// Supports object/array literals, `null`, and arbitrary serializable
+/// Rust expressions in value position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Object(::std::vec::Vec::new()) };
+    ({ $($body:tt)+ }) => {{
+        let mut fields: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+            ::std::vec::Vec::new();
+        $crate::json_object_entries!(fields; $($body)+);
+        $crate::Value::Object(fields)
+    }};
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($body:tt)+ ]) => {{
+        let mut items: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json_array_elems!(items; $($body)+);
+        $crate::Value::Array(items)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value is serializable")
+    };
+}
+
+/// Internal: munch `"key": value` pairs for [`json!`] object literals.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_entries {
+    ($fields:ident;) => {};
+    ($fields:ident; $key:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $fields.push(($key.to_string(), $crate::json!({ $($inner)* })));
+        $crate::json_object_entries!($fields; $($rest)*);
+    };
+    ($fields:ident; $key:literal : { $($inner:tt)* }) => {
+        $fields.push(($key.to_string(), $crate::json!({ $($inner)* })));
+    };
+    ($fields:ident; $key:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $fields.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+        $crate::json_object_entries!($fields; $($rest)*);
+    };
+    ($fields:ident; $key:literal : [ $($inner:tt)* ]) => {
+        $fields.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+    };
+    ($fields:ident; $key:literal : null , $($rest:tt)*) => {
+        $fields.push(($key.to_string(), $crate::Value::Null));
+        $crate::json_object_entries!($fields; $($rest)*);
+    };
+    ($fields:ident; $key:literal : null) => {
+        $fields.push(($key.to_string(), $crate::Value::Null));
+    };
+    ($fields:ident; $key:literal : $value:expr , $($rest:tt)*) => {
+        $fields.push(($key.to_string(), $crate::json!($value)));
+        $crate::json_object_entries!($fields; $($rest)*);
+    };
+    ($fields:ident; $key:literal : $value:expr) => {
+        $fields.push(($key.to_string(), $crate::json!($value)));
+    };
+}
+
+/// Internal: munch elements for [`json!`] array literals.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_elems {
+    ($items:ident;) => {};
+    ($items:ident; { $($inner:tt)* } , $($rest:tt)*) => {
+        $items.push($crate::json!({ $($inner)* }));
+        $crate::json_array_elems!($items; $($rest)*);
+    };
+    ($items:ident; { $($inner:tt)* }) => {
+        $items.push($crate::json!({ $($inner)* }));
+    };
+    ($items:ident; [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $items.push($crate::json!([ $($inner)* ]));
+        $crate::json_array_elems!($items; $($rest)*);
+    };
+    ($items:ident; [ $($inner:tt)* ]) => {
+        $items.push($crate::json!([ $($inner)* ]));
+    };
+    ($items:ident; null , $($rest:tt)*) => {
+        $items.push($crate::Value::Null);
+        $crate::json_array_elems!($items; $($rest)*);
+    };
+    ($items:ident; null) => {
+        $items.push($crate::Value::Null);
+    };
+    ($items:ident; $value:expr , $($rest:tt)*) => {
+        $items.push($crate::json!($value));
+        $crate::json_array_elems!($items; $($rest)*);
+    };
+    ($items:ident; $value:expr) => {
+        $items.push($crate::json!($value));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_value() {
+        let v = json!({
+            "name": "trace",
+            "count": 3,
+            "ratio": 0.5,
+            "neg": -7,
+            "flag": true,
+            "missing": null,
+            "items": [1, 2, {"deep": "yes"}],
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, back2);
+    }
+
+    #[test]
+    fn floats_keep_their_point() {
+        let text = to_string(&Value::F64(100.0)).unwrap();
+        assert_eq!(text, "100.0");
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, Value::F64(100.0));
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let v = Value::Str("a\"b\\c\nd\tâ".to_string());
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn json_macro_takes_expressions() {
+        let tid = 2u32;
+        let v = json!({
+            "tid": tid,
+            "label": format!("track {tid}"),
+            "args": {"nested": [tid, 3]},
+        });
+        assert_eq!(v["tid"], 2);
+        assert_eq!(v["label"], "track 2");
+        assert_eq!(v["args"]["nested"][1], 3);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+    }
+}

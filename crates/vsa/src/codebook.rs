@@ -292,6 +292,48 @@ impl Codebook {
         Ok(best)
     }
 
+    /// Batch cleanup: [`Codebook::cleanup`] for every query, with the
+    /// queries dispatched in parallel on the execution engine
+    /// (`nsai_tensor::par`). Each query runs the serial linear scan
+    /// unchanged, so results are identical to calling `cleanup` in a
+    /// loop at every pool width; similarity events recorded on pool
+    /// workers reach the caller's active profiler via scope propagation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VsaError::EmptyCodebook`] or compatibility errors (all
+    /// queries are validated up front).
+    pub fn cleanup_batch(&self, queries: &[Hypervector]) -> Result<Vec<(usize, f32)>, VsaError> {
+        if self.is_empty() {
+            return Err(VsaError::EmptyCodebook);
+        }
+        for hv in queries {
+            if hv.model() != self.model {
+                return Err(VsaError::ModelMismatch {
+                    lhs: hv.model().name(),
+                    rhs: self.model.name(),
+                });
+            }
+            if hv.dim() != self.dim {
+                return Err(VsaError::DimensionMismatch {
+                    lhs: hv.dim(),
+                    rhs: self.dim,
+                });
+            }
+        }
+        Ok(nsai_tensor::par::map_chunks(queries.len(), 1, |r| {
+            let hv = &queries[r.start];
+            let mut best = (0usize, f32::NEG_INFINITY);
+            for (i, v) in self.vectors.iter().enumerate() {
+                let sim = hv.similarity(v).expect("queries validated above");
+                if sim > best.1 {
+                    best = (i, sim);
+                }
+            }
+            best
+        }))
+    }
+
     /// Cleanup with an early-exit threshold: stop scanning once a
     /// similarity of at least `threshold` is found. Trades worst-case
     /// latency for best-case latency (the `ablate_cleanup` variant).
@@ -479,6 +521,58 @@ mod tests {
         assert!(Codebook::fractional_power("x", &bipolar, 2, &["a", "b"]).is_err());
         let base = Hypervector::random_unitary(64, 2);
         assert!(Codebook::fractional_power("x", &base, 2, &["a"]).is_err());
+    }
+
+    #[test]
+    fn cleanup_batch_matches_sequential_cleanup() {
+        let cb = book();
+        let queries: Vec<Hypervector> = (0..6)
+            .map(|i| {
+                let noise = Hypervector::random(VsaModel::Bipolar, 2048, 9000 + i);
+                Hypervector::bundle(&[cb.at(i as usize % cb.len()).unwrap(), &noise]).unwrap()
+            })
+            .collect();
+        for threads in [1usize, 4] {
+            let batch =
+                nsai_tensor::par::with_threads(threads, || cb.cleanup_batch(&queries)).unwrap();
+            for (q, got) in queries.iter().zip(&batch) {
+                assert_eq!(*got, cb.cleanup(q).unwrap(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn cleanup_batch_profiles_identically_across_pool_widths() {
+        let cb = book();
+        let queries: Vec<Hypervector> = (0..4)
+            .map(|i| cb.at(i % cb.len()).unwrap().clone())
+            .collect();
+        let count_events = |threads: usize| {
+            let p = Profiler::new();
+            {
+                let _a = p.activate();
+                nsai_tensor::par::with_threads(threads, || cb.cleanup_batch(&queries)).unwrap();
+            }
+            p.events().len()
+        };
+        let serial = count_events(1);
+        assert!(serial > 0, "similarity ops should be profiled");
+        assert_eq!(serial, count_events(4));
+    }
+
+    #[test]
+    fn cleanup_batch_validates_inputs() {
+        let cb = book();
+        let wrong_dim = Hypervector::random(VsaModel::Bipolar, 1024, 1);
+        assert!(matches!(
+            cb.cleanup_batch(&[wrong_dim]),
+            Err(VsaError::DimensionMismatch { .. })
+        ));
+        let empty = Codebook::generate("e", VsaModel::Bipolar, 64, &[], 1);
+        assert!(matches!(
+            empty.cleanup_batch(&[]),
+            Err(VsaError::EmptyCodebook)
+        ));
     }
 
     #[test]

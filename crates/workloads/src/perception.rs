@@ -11,6 +11,12 @@
 //!   profile is identical) but returns near-one-hot PMFs derived from the
 //!   generator's ground truth. Reasoning-correctness tests use this to
 //!   isolate the symbolic backend.
+//!
+//! The ConvNet and linear heads run on the parallel kernels in
+//! `nsai_tensor` (see `nsai_tensor::par`): convolution is plane-parallel
+//! and the GEMMs are row-blocked. Because the decomposition is independent
+//! of pool width, training trajectories and inference outputs are
+//! bitwise-reproducible under any `NEUROSYM_THREADS` setting.
 
 use crate::error::WorkloadError;
 use nsai_core::profile::phase_scope;
@@ -42,6 +48,11 @@ pub struct Perception {
     res: usize,
     convnet: ConvNet,
     heads: Vec<Linear>,
+    /// Per-feature `(mean, 1/std)` of the frozen conv features, fitted on
+    /// the training batch. Linear probes on raw ReLU features are
+    /// ill-conditioned (non-zero mean, widely varying scales), so features
+    /// are standardized before the heads in both training and inference.
+    feature_norm: Option<(Tensor, Tensor)>,
     trained: bool,
 }
 
@@ -69,6 +80,7 @@ impl Perception {
             res,
             convnet,
             heads,
+            feature_norm: None,
             trained: false,
         }
     }
@@ -126,10 +138,12 @@ impl Perception {
             .collect::<Result<_, _>>()?;
         let image_refs: Vec<&Tensor> = images.iter().collect();
         let batch = Tensor::concat(&image_refs, 0)?;
-        let features = self.convnet.extract(&batch);
+        let raw = self.convnet.extract(&batch);
+        self.feature_norm = Some(feature_stats(&raw)?);
+        let features = self.standardize(&raw)?;
         for (attr, head) in self.heads.iter_mut().enumerate() {
             let targets: Vec<usize> = panels.iter().map(|p| p.attributes()[attr]).collect();
-            let mut opt = Adam::new(0.01);
+            let mut opt = Adam::new(0.05);
             for _ in 0..epochs {
                 let logits = head.forward(&features);
                 let (_, grad) = loss::cross_entropy(&logits, &targets)?;
@@ -180,6 +194,15 @@ impl Perception {
             .collect())
     }
 
+    /// Standardize conv features with the statistics fitted at training
+    /// time; identity before training (oracle mode never fits them).
+    fn standardize(&self, features: &Tensor) -> Result<Tensor, WorkloadError> {
+        match &self.feature_norm {
+            Some((mean, inv_std)) => Ok(features.sub(mean)?.mul(inv_std)?),
+            None => Ok(features.clone()),
+        }
+    }
+
     /// Map one panel to its five attribute PMFs. All tensor work runs
     /// under a neural phase scope.
     ///
@@ -197,7 +220,8 @@ impl Perception {
         let image = panel
             .render(self.res)
             .reshape(&[1, 1, self.res, self.res])?;
-        let features = self.convnet.extract(&image);
+        let raw = self.convnet.extract(&image);
+        let features = self.standardize(&raw)?;
         let mut pmfs = Vec::with_capacity(5);
         for (attr, head) in self.heads.iter_mut().enumerate() {
             let logits = head.forward(&features);
@@ -221,6 +245,39 @@ impl Perception {
         }
         Ok(pmfs)
     }
+}
+
+/// Per-column `(mean, 1/std)` of a `[n, d]` feature batch, for
+/// standardizing linear-probe inputs. Stored as `[1, d]` tensors so they
+/// broadcast over the batch dimension.
+fn feature_stats(features: &Tensor) -> Result<(Tensor, Tensor), WorkloadError> {
+    let dims = features.shape().dims();
+    let (n, d) = (dims[0], dims[1]);
+    let data = features.data();
+    let mut mean = vec![0.0f32; d];
+    for row in data.chunks_exact(d) {
+        for (m, x) in mean.iter_mut().zip(row) {
+            *m += x;
+        }
+    }
+    for m in &mut mean {
+        *m /= n as f32;
+    }
+    let mut var = vec![0.0f32; d];
+    for row in data.chunks_exact(d) {
+        for ((v, m), x) in var.iter_mut().zip(&mean).zip(row) {
+            let c = x - m;
+            *v += c * c;
+        }
+    }
+    let inv_std: Vec<f32> = var
+        .iter()
+        .map(|v| 1.0 / ((v / n as f32).sqrt() + 1e-4))
+        .collect();
+    Ok((
+        Tensor::from_vec(mean, &[1, d])?,
+        Tensor::from_vec(inv_std, &[1, d])?,
+    ))
 }
 
 #[cfg(test)]

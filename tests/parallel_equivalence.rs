@@ -1,0 +1,226 @@
+//! Parallel-vs-serial equivalence suite for the `nsai_tensor::par` engine.
+//!
+//! Every parallel kernel in the workspace decomposes its work by a fixed
+//! grain that depends only on problem size — never on pool width — and runs
+//! the unchanged serial inner loop on each chunk. These tests pin that
+//! contract: for randomized shapes, every kernel must produce
+//! **bitwise-identical** results (compared via `f32::to_bits`) at pool
+//! widths 1, 2, 4, and 7, and the profiler must record identical traces
+//! (event counts, FLOPs, bytes) regardless of how many threads executed
+//! the kernels.
+
+use neurosym::core::{Phase, Profiler};
+use neurosym::tensor::ops::conv::Conv2dParams;
+use neurosym::tensor::{par, Tensor};
+use neurosym::vsa::{Codebook, Hypervector, VsaModel};
+use proptest::prelude::*;
+
+/// Pool widths exercised by every equivalence property. Width 1 is the
+/// exact serial code path; 7 is deliberately not a divisor of typical
+/// chunk counts so remainder chunks are covered.
+const WIDTHS: [usize; 4] = [1, 2, 4, 7];
+
+fn assert_bitwise_eq(serial: &[f32], parallel: &[f32], what: &str, threads: usize) {
+    assert_eq!(
+        serial.len(),
+        parallel.len(),
+        "{what}: length at {threads} threads"
+    );
+    for (i, (s, p)) in serial.iter().zip(parallel).enumerate() {
+        assert_eq!(
+            s.to_bits(),
+            p.to_bits(),
+            "{what}: element {i} differs at {threads} threads ({s} vs {p})"
+        );
+    }
+}
+
+/// Run `f` at width 1 to get the reference, then assert the extracted
+/// f32 slice is bitwise-identical at every other width.
+fn check_widths<T>(what: &str, f: impl Fn() -> T, data: impl Fn(&T) -> &[f32]) {
+    let reference = par::with_threads(1, &f);
+    for threads in WIDTHS {
+        let got = par::with_threads(threads, &f);
+        assert_bitwise_eq(data(&reference), data(&got), what, threads);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_family_is_bitwise_equal_across_widths(
+        m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..1000,
+    ) {
+        let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, seed);
+        let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, seed + 1);
+        check_widths("matmul", || a.matmul(&b).unwrap(), |t| t.data());
+
+        // matmul_bt: B is stored transposed as [n, k].
+        let bt = Tensor::rand_uniform(&[n, k], -1.0, 1.0, seed + 2);
+        check_widths("matmul_bt", || a.matmul_bt(&bt).unwrap(), |t| t.data());
+
+        // matmul_at: A is stored transposed as [k, m].
+        let at = Tensor::rand_uniform(&[k, m], -1.0, 1.0, seed + 3);
+        check_widths("matmul_at", || at.matmul_at(&b).unwrap(), |t| t.data());
+
+        let v = Tensor::rand_uniform(&[k], -1.0, 1.0, seed + 4);
+        check_widths("matvec", || a.matvec(&v).unwrap(), |t| t.data());
+    }
+
+    #[test]
+    fn conv2d_is_bitwise_equal_across_widths(
+        batch in 1usize..3, c_in in 1usize..4, c_out in 1usize..5,
+        hw in 3usize..10, kk in 1usize..4, padding in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let kk = kk.min(hw);
+        let x = Tensor::rand_uniform(&[batch, c_in, hw, hw], -1.0, 1.0, seed);
+        let w = Tensor::rand_uniform(&[c_out, c_in, kk, kk], -1.0, 1.0, seed + 1);
+        let bias = Tensor::rand_uniform(&[c_out], -0.5, 0.5, seed + 2);
+        let params = Conv2dParams { stride: 1, padding };
+        check_widths(
+            "conv2d",
+            || x.conv2d(&w, Some(&bias), params).unwrap(),
+            |t| t.data(),
+        );
+        check_widths(
+            "conv2d_im2col",
+            || x.conv2d_im2col(&w, Some(&bias), params).unwrap(),
+            |t| t.data(),
+        );
+    }
+
+    #[test]
+    fn elementwise_and_reductions_are_bitwise_equal_across_widths(
+        len in 1usize..4096, seed in 0u64..1000,
+    ) {
+        let a = Tensor::rand_uniform(&[len], -2.0, 2.0, seed);
+        let b = Tensor::rand_uniform(&[len], -2.0, 2.0, seed + 1);
+        check_widths("add", || a.add(&b).unwrap(), |t| t.data());
+        check_widths("mul", || a.mul(&b).unwrap(), |t| t.data());
+
+        // Broadcasting path: [rows, len] + [len] bias-style add.
+        let rows = 3usize;
+        let m = Tensor::rand_uniform(&[rows, len], -2.0, 2.0, seed + 2);
+        check_widths("add(broadcast)", || m.add(&a).unwrap(), |t| t.data());
+        check_widths("relu", || a.relu(), |t| t.data());
+        check_widths("sum", || [a.sum()], |s| s);
+        check_widths("dot", || [a.dot(&b).unwrap()], |s| s);
+        check_widths("norm", || [a.norm()], |s| s);
+        check_widths(
+            "cosine_similarity",
+            || [a.cosine_similarity(&b).unwrap()],
+            |s| s,
+        );
+    }
+
+    #[test]
+    fn codebook_cleanup_batch_is_identical_across_widths(
+        n_queries in 1usize..8, seed in 0u64..1000,
+    ) {
+        let cb = Codebook::generate(
+            "eq", VsaModel::Bipolar, 512, &["a", "b", "c", "d", "e"], seed,
+        );
+        let queries: Vec<Hypervector> = (0..n_queries)
+            .map(|i| {
+                let noise = Hypervector::random(VsaModel::Bipolar, 512, seed + 100 + i as u64);
+                Hypervector::bundle(&[cb.at(i % cb.len()).unwrap(), &noise]).unwrap()
+            })
+            .collect();
+        let reference = par::with_threads(1, || cb.cleanup_batch(&queries).unwrap());
+        for threads in WIDTHS {
+            let got = par::with_threads(threads, || cb.cleanup_batch(&queries).unwrap());
+            for (i, (r, g)) in reference.iter().zip(&got).enumerate() {
+                prop_assert_eq!(r.0, g.0, "query {} index at {} threads", i, threads);
+                prop_assert_eq!(
+                    r.1.to_bits(), g.1.to_bits(),
+                    "query {} similarity at {} threads", i, threads
+                );
+            }
+        }
+    }
+}
+
+/// The trace a profiler captures — event names, order, FLOPs, bytes — must
+/// not depend on how many threads executed the kernels.
+#[test]
+fn profiled_trace_is_invariant_to_pool_width() {
+    let trace = |threads: usize| {
+        par::with_threads(threads, || {
+            let p = Profiler::new();
+            {
+                let _a = p.activate();
+                let x = Tensor::rand_uniform(&[2, 3, 8, 8], -1.0, 1.0, 7);
+                let w = Tensor::rand_uniform(&[4, 3, 3, 3], -1.0, 1.0, 8);
+                let y = x.conv2d(&w, None, Conv2dParams::default()).unwrap();
+                let flat = y.reshape(&[2, 4 * 6 * 6]).unwrap();
+                let wt = Tensor::rand_uniform(&[5, 4 * 6 * 6], -1.0, 1.0, 9);
+                let z = flat.matmul_bt(&wt).unwrap();
+                let _ = z.relu().sum();
+
+                let cb = Codebook::generate("t", VsaModel::Bipolar, 256, &["a", "b"], 1);
+                let q = cb.at(0).unwrap().clone();
+                let _ = cb.cleanup_batch(&[q.clone(), q]).unwrap();
+            }
+            p.events()
+        })
+    };
+
+    let reference = trace(1);
+    assert!(!reference.is_empty());
+    for threads in [2usize, 4, 7] {
+        let got = trace(threads);
+        assert_eq!(
+            reference.len(),
+            got.len(),
+            "event count at {threads} threads"
+        );
+        for (r, g) in reference.iter().zip(&got) {
+            assert_eq!(r.seq, g.seq, "seq of {} at {threads} threads", r.name);
+            assert_eq!(r.name, g.name, "name at seq {} ({threads} threads)", r.seq);
+            assert_eq!(r.flops, g.flops, "flops of {} at {threads} threads", r.name);
+            assert_eq!(
+                r.bytes_read, g.bytes_read,
+                "bytes_read of {} at {threads} threads",
+                r.name
+            );
+            assert_eq!(
+                r.bytes_written, g.bytes_written,
+                "bytes_written of {} at {threads} threads",
+                r.name
+            );
+            assert_eq!(r.phase, g.phase, "phase of {} at {threads} threads", r.name);
+        }
+    }
+}
+
+/// Zero-skipping GEMMs report *effective* FLOPs (`2·nnz(A)·n`), and the
+/// count is identical whatever the pool width.
+#[test]
+fn effective_flop_accounting_is_width_invariant() {
+    // A 4×4 matrix with exactly half its entries zero.
+    let a = Tensor::from_vec(
+        vec![
+            1.0, 0.0, 2.0, 0.0, //
+            0.0, 3.0, 0.0, 4.0, //
+            5.0, 0.0, 6.0, 0.0, //
+            0.0, 7.0, 0.0, 8.0,
+        ],
+        &[4, 4],
+    )
+    .unwrap();
+    let b = Tensor::rand_uniform(&[4, 4], -1.0, 1.0, 3);
+    for threads in WIDTHS {
+        let p = Profiler::new();
+        par::with_threads(threads, || {
+            let _a = p.activate();
+            let _ = a.matmul(&b).unwrap();
+        });
+        let events = p.events();
+        assert_eq!(events.len(), 1);
+        // 8 nonzeros in A, n = 4: 2 * 8 * 4 = 64 effective FLOPs.
+        assert_eq!(events[0].flops, 64, "at {threads} threads");
+        assert_eq!(events[0].phase, Phase::Neural);
+    }
+}

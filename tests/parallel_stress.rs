@@ -1,0 +1,149 @@
+//! Concurrency stress test for the shared worker pool and scope-propagated
+//! profiling.
+//!
+//! Multiple user threads each own an independent [`Profiler`] and hammer
+//! parallel kernels concurrently. All submissions funnel through the single
+//! process-wide pool, so this exercises job-slot serialization, worker
+//! reuse across unrelated profilers, and per-worker event buffers flushing
+//! into the *right* trace. Each thread's trace must come out disjoint and
+//! well-formed: contiguous sequence numbers, only that thread's ops, and
+//! deterministic per-iteration content.
+
+use neurosym::core::Profiler;
+use neurosym::tensor::{par, Tensor};
+use neurosym::vsa::{Codebook, Hypervector, VsaModel};
+use std::thread;
+
+const USER_THREADS: usize = 4;
+const ITERATIONS: usize = 60;
+
+/// Every profiler's trace must have contiguous seq numbers 0..len.
+fn assert_well_formed(p: &Profiler, label: &str) {
+    let events = p.events();
+    for (i, ev) in events.iter().enumerate() {
+        assert_eq!(
+            ev.seq, i as u64,
+            "{label}: seq gap at position {i} (event {})",
+            ev.name
+        );
+    }
+}
+
+#[test]
+fn concurrent_profilers_on_user_threads_capture_disjoint_traces() {
+    let traces: Vec<(usize, Vec<String>, usize)> = thread::scope(|s| {
+        let handles: Vec<_> = (0..USER_THREADS)
+            .map(|t| {
+                s.spawn(move || {
+                    let p = Profiler::new();
+                    // Pin a real pool width so the kernels fan out even on
+                    // single-core CI runners.
+                    par::with_threads(4, || {
+                        let _a = p.activate();
+                        for i in 0..ITERATIONS {
+                            // Per-thread shapes so a cross-wired event would
+                            // be detectable by its metadata, not just count.
+                            let m = 6 + t;
+                            let seed = (t * 10_000 + i) as u64;
+                            let a = Tensor::rand_uniform(&[m, 8], -1.0, 1.0, seed);
+                            let b = Tensor::rand_uniform(&[8, 5], -1.0, 1.0, seed + 1);
+                            let c = a.matmul(&b).unwrap();
+                            let _ = c.relu().sum();
+                        }
+                    });
+                    assert_well_formed(&p, &format!("thread {t}"));
+                    let events = p.events();
+                    let names: Vec<String> = events.iter().map(|e| e.name.clone()).collect();
+                    let out_elems = events
+                        .iter()
+                        .find(|e| e.name.contains("matmul") || e.name.contains("gemm"))
+                        .map(|e| e.output_elems as usize)
+                        .unwrap_or(0);
+                    (t, names, out_elems)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (t, names, out_elems) in traces {
+        // 3 ops per iteration: matmul, relu, sum.
+        assert_eq!(
+            names.len(),
+            3 * ITERATIONS,
+            "thread {t}: unexpected event count"
+        );
+        // The matmul output is [6+t, 5]; a trace polluted by another
+        // thread's events would surface a different shape.
+        assert_eq!(out_elems, (6 + t) * 5, "thread {t}: foreign matmul event");
+    }
+}
+
+#[test]
+fn concurrent_cleanup_batch_keeps_similarity_events_per_profiler() {
+    let cb = Codebook::generate(
+        "stress",
+        VsaModel::Bipolar,
+        512,
+        &["a", "b", "c", "d", "e", "f"],
+        11,
+    );
+    let cb = &cb;
+
+    thread::scope(|s| {
+        for t in 0..USER_THREADS {
+            s.spawn(move || {
+                // Each thread queries a different number of vectors so the
+                // expected event count is thread-specific.
+                let n_queries = 2 + t;
+                let queries: Vec<Hypervector> = (0..n_queries)
+                    .map(|i| cb.at(i % cb.len()).unwrap().clone())
+                    .collect();
+                let p = Profiler::new();
+                // Odd threads run the batch across real workers, even
+                // threads stay serial — traces must match either way.
+                par::with_threads(1 + 3 * (t % 2), || {
+                    let _a = p.activate();
+                    for _ in 0..ITERATIONS {
+                        let result = cb.cleanup_batch(&queries).unwrap();
+                        for (i, (idx, _)) in result.iter().enumerate() {
+                            assert_eq!(*idx, i % cb.len(), "thread {t}: wrong match");
+                        }
+                    }
+                });
+                assert_well_formed(&p, &format!("cleanup thread {t}"));
+                // Worker-side similarity events propagate to this thread's
+                // profiler via scope capture: one similarity op per
+                // (query, codebook entry) pair per iteration, regardless of
+                // which worker computed it.
+                let per_iter = p.events().len() / ITERATIONS;
+                assert_eq!(
+                    per_iter,
+                    n_queries * cb.len(),
+                    "thread {t}: similarity events lost or cross-wired"
+                );
+            });
+        }
+    });
+}
+
+#[test]
+fn mixed_pool_widths_across_threads_do_not_interfere() {
+    // Threads pin different pool-width overrides while sharing the global
+    // pool; each must still observe its own deterministic results.
+    thread::scope(|s| {
+        for (t, width) in [1usize, 2, 4, 7].into_iter().enumerate() {
+            s.spawn(move || {
+                let a = Tensor::rand_uniform(&[17, 13], -1.0, 1.0, t as u64);
+                let b = Tensor::rand_uniform(&[13, 9], -1.0, 1.0, t as u64 + 1);
+                let reference = par::with_threads(1, || a.matmul(&b).unwrap());
+                for _ in 0..ITERATIONS {
+                    let got = par::with_threads(width, || a.matmul(&b).unwrap());
+                    for (x, y) in reference.data().iter().zip(got.data()) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "thread {t} width {width}");
+                    }
+                }
+            });
+        }
+    });
+}
