@@ -1,13 +1,14 @@
 //! `figures` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! figures [EXHIBIT...]
+//! figures [--list] [EXHIBIT...]
 //!
 //! EXHIBIT: 2a 2b 2c 3a 3b 3c 4 5 tab1 tab4 rec6 | all (default)
 //! ```
 //!
 //! Each exhibit prints its text table to stdout and writes a JSON file
-//! into `results/`.
+//! into `results/`. Unknown exhibits abort before anything runs, with a
+//! non-zero exit status. `--list` prints the valid exhibit names.
 
 use nsai_bench::CharacterizationSet;
 use nsai_bench::{fig2a, fig2b, fig2c, fig3a, fig3b, fig3c, fig4, fig5, rec6, tab1, tab4};
@@ -31,25 +32,44 @@ fn write_json<T: serde::Serialize>(name: &str, rows: &T) {
     }
 }
 
+/// Every exhibit this binary can regenerate, in presentation order.
+const EXHIBITS: [&str; 11] = [
+    "2a", "2b", "2c", "3a", "3b", "3c", "4", "5", "tab1", "tab4", "rec6",
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "figures — regenerate the ISPASS 2024 tables and figures\n\n\
-             usage: figures [EXHIBIT...]\n\n\
-             EXHIBIT: 2a 2b 2c 3a 3b 3c 4 5 tab1 tab4 rec6 | all (default)\n\n\
+             usage: figures [--list] [EXHIBIT...]\n\n\
+             EXHIBIT: {} | all (default)\n\n\
              Each exhibit prints its text table to stdout and writes\n\
-             results/<exhibit>.json."
+             results/<exhibit>.json. --list prints the valid exhibit\n\
+             names, one per line.",
+            EXHIBITS.join(" ")
         );
         return;
     }
-    let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        [
-            "2a", "2b", "2c", "3a", "3b", "3c", "4", "5", "tab1", "tab4", "rec6",
-        ]
+    if args.iter().any(|a| a == "--list") {
+        for exhibit in EXHIBITS {
+            println!("{exhibit}");
+        }
+        return;
+    }
+    let unknown: Vec<&String> = args
         .iter()
-        .map(|s| s.to_string())
-        .collect()
+        .filter(|a| *a != "all" && !EXHIBITS.contains(&a.as_str()))
+        .collect();
+    if !unknown.is_empty() {
+        for exhibit in &unknown {
+            eprintln!("error: unknown exhibit `{exhibit}`");
+        }
+        eprintln!("valid exhibits: {} (or `all`)", EXHIBITS.join(" "));
+        std::process::exit(2);
+    }
+    let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        EXHIBITS.iter().map(|s| s.to_string()).collect()
     } else {
         args
     };
@@ -120,9 +140,9 @@ fn main() {
                 print!("{}", rec6::render(&rows));
                 write_json("rec6", &rows);
             }
-            other => {
-                eprintln!("unknown exhibit `{other}` (try: 2a 2b 2c 3a 3b 3c 4 5 tab1 tab4 rec6)")
-            }
+            // Arguments were validated up front; this arm is unreachable
+            // but keeps the match exhaustive.
+            other => unreachable!("exhibit `{other}` passed validation but has no handler"),
         }
         println!();
     }

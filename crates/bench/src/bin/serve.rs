@@ -1,0 +1,547 @@
+//! `serve` — latency–throughput characterization of the serving runtime.
+//!
+//! ```text
+//! serve [--duration-ms N] [--workloads lnn,nvsa,prae]
+//! ```
+//!
+//! For each workload this harness calibrates the per-request service
+//! time, then drives open-loop Poisson load at several multiples of the
+//! measured single-server capacity through two server configurations —
+//! batching disabled (`max_batch = 1`) and enabled
+//! (`max_batch = 16`) — and records the latency distribution, achieved
+//! throughput, reject rate, and batch-size histogram at every level.
+//! The overloaded peak level is measured as interleaved
+//! unbatched/batched rounds sharing one arrival trace per round, and
+//! the batching verdict comes from paired closed-loop saturation
+//! rounds, so the throughput comparison is paired in time rather than
+//! racing host drift. Results go to `results/serve_report.json`.
+//!
+//! Everything is seeded: the offered arrival trace is reproducible, and
+//! the workloads' bitwise batch-equals-serial contract means the served
+//! outputs are too. Wall-clock figures (latency, throughput) naturally
+//! vary with the host.
+
+use nsai_serve::loadgen::{closed_loop, open_loop_poisson, OpenLoopRun};
+use nsai_serve::{MetricsSnapshot, ServeConfig, Server, ShutdownMode};
+use nsai_workloads::perception::PerceptionMode;
+use nsai_workloads::{CaseInput, Lnn, LnnConfig, Nvsa, NvsaConfig, Prae, PraeConfig, Workload};
+use serde::Serialize;
+use std::fs;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Offered-load multipliers applied to the calibrated capacity. The top
+/// level is deliberate overload: it exposes rejects, bounded queue
+/// growth, and the batching headroom.
+const LOAD_MULTIPLIERS: [f64; 4] = [0.5, 1.0, 2.0, 4.0];
+const BATCHED_MAX_BATCH: usize = 16;
+const QUEUE_CAPACITY: usize = 32;
+const WORKERS: usize = 2;
+/// The peak (last) load level is measured as this many rounds per mode,
+/// interleaved unbatched/batched with a shared arrival trace per round
+/// and alternating order. A single window per mode makes the
+/// batched-vs-unbatched comparison a race against host drift (frequency
+/// scaling, noisy neighbours); pairing the windows in time and taking
+/// the median of the per-round throughput ratios makes the comparison
+/// robust to both drift and single-window outliers.
+const PEAK_ROUNDS: usize = 10;
+/// Paired closed-loop saturation rounds deciding the
+/// batched-vs-unbatched verdict. Open-loop windows carry ramp-up and
+/// drain edges plus Poisson sleep jitter, all larger than a
+/// few-percent batching effect; a closed loop holds the queue at
+/// saturation with zero arrival timing, so each round measures pure
+/// service capacity. Rounds alternate mode order and reuse one case
+/// set per round across both modes.
+const SATURATION_ROUNDS: usize = 12;
+/// Concurrent closed-loop clients per saturation round — enough to keep
+/// every worker's batcher full without exceeding the admission queue.
+const SATURATION_CLIENTS: usize = 16;
+
+/// Shared so the same factory can feed the unbatched and batched
+/// servers (and replica rebuilds inside each).
+type Factory = Arc<dyn Fn() -> Box<dyn Workload + Send> + Send + Sync>;
+
+fn factory_for(name: &str) -> Option<Factory> {
+    match name {
+        "lnn" => Some(Arc::new(|| Box::new(Lnn::new(LnnConfig::small())))),
+        "nvsa" => Some(Arc::new(|| {
+            // Serve a perception-forward NVSA: neural mode with a modest
+            // hypervector dimension, so the batch-shared ConvNet forward
+            // and attribute heads are a meaningful fraction of each
+            // request (at `small()`'s oracle/dim-1024 setting the
+            // per-request cost is almost entirely the unshareable
+            // symbolic resonator).
+            let mut config = NvsaConfig::small();
+            config.mode = PerceptionMode::Neural;
+            config.dim = 128;
+            config.problems = 1;
+            Box::new(Nvsa::new(config))
+        })),
+        "prae" => Some(Arc::new(|| {
+            let mut config = PraeConfig::small();
+            config.mode = PerceptionMode::Neural;
+            config.problems = 1;
+            Box::new(Prae::new(config))
+        })),
+        _ => None,
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct LevelReport {
+    load_multiplier: f64,
+    offered_rps: f64,
+    duration_ms: u64,
+    seed: u64,
+    offered: u64,
+    admitted: u64,
+    rejected: u64,
+    errors: u64,
+    completed_ok: u64,
+    reject_rate: f64,
+    throughput_rps: f64,
+    latency_p50_us: u64,
+    latency_p95_us: u64,
+    latency_p99_us: u64,
+    latency_mean_us: f64,
+    latency_max_us: u64,
+    queue_depth_peak: u64,
+    mean_batch_size: f64,
+    batch_size_buckets: Vec<(u64, u64)>,
+    metrics: MetricsSnapshot,
+}
+
+#[derive(Debug, Serialize)]
+struct ModeReport {
+    mode: String,
+    max_batch: usize,
+    max_wait_us: u64,
+    levels: Vec<LevelReport>,
+}
+
+#[derive(Debug, Serialize)]
+struct WorkloadReport {
+    workload: String,
+    service_us_calibrated: f64,
+    capacity_rps: f64,
+    modes: Vec<ModeReport>,
+    /// Per-round batched/unbatched throughput ratios from the paired
+    /// open-loop peak windows (diagnostic; includes ramp/drain edges).
+    peak_round_ratios: Vec<f64>,
+    /// Paired closed-loop rounds at full queue occupancy — the
+    /// measurement that decides the batching verdict.
+    saturation_rounds: Vec<SaturationRound>,
+    /// Median saturation-round ratio — robust to drift and outliers.
+    peak_batched_over_unbatched: f64,
+    /// Whether the median paired saturation ratio shows batching at
+    /// least matching unbatched serving at the saturated peak level.
+    batched_ge_unbatched_at_peak: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct ServeReport {
+    schema: String,
+    workers: usize,
+    queue_capacity: usize,
+    load_multipliers: Vec<f64>,
+    peak_rounds: usize,
+    duration_ms: u64,
+    workloads: Vec<WorkloadReport>,
+    total_errors: u64,
+}
+
+/// Mean per-request service time over a few direct (unserved) runs.
+fn calibrate_service_us(factory: &Factory) -> f64 {
+    let mut replica = factory();
+    replica.prepare().expect("workload prepares");
+    // One warm-up case, then time a handful.
+    replica.run_case(&CaseInput::new(0)).expect("runs");
+    let cases = 4u64;
+    let started = Instant::now();
+    for case in 1..=cases {
+        replica.run_case(&CaseInput::new(case)).expect("runs");
+    }
+    started.elapsed().as_micros() as f64 / cases as f64
+}
+
+/// Fold one or more open-loop windows (all at the same offered load)
+/// plus the server's metrics accumulated over them into a level report.
+/// Throughput is total completed-ok over total measured wall clock.
+fn level_report(
+    multiplier: f64,
+    offered_rps: f64,
+    seed: u64,
+    runs: &[OpenLoopRun],
+    metrics: MetricsSnapshot,
+) -> LevelReport {
+    let elapsed: f64 = runs.iter().map(|r| r.elapsed.as_secs_f64()).sum();
+    let completed_ok: u64 = runs.iter().map(|r| r.ok_count() as u64).sum();
+    let errors = runs
+        .iter()
+        .flat_map(|r| &r.responses)
+        .filter(|r| r.is_err())
+        .count() as u64;
+    LevelReport {
+        load_multiplier: multiplier,
+        offered_rps,
+        duration_ms: (elapsed * 1e3) as u64,
+        seed,
+        offered: runs.iter().map(|r| r.offered as u64).sum(),
+        admitted: runs.iter().map(|r| r.responses.len() as u64).sum(),
+        rejected: runs.iter().map(|r| r.rejected as u64).sum(),
+        errors,
+        completed_ok,
+        reject_rate: metrics.reject_rate(),
+        throughput_rps: if elapsed == 0.0 {
+            0.0
+        } else {
+            completed_ok as f64 / elapsed
+        },
+        latency_p50_us: metrics.total_us.p50,
+        latency_p95_us: metrics.total_us.p95,
+        latency_p99_us: metrics.total_us.p99,
+        latency_mean_us: metrics.total_us.mean,
+        latency_max_us: metrics.total_us.max,
+        queue_depth_peak: metrics.queue_depth_peak,
+        mean_batch_size: metrics.mean_batch_size(),
+        batch_size_buckets: metrics.batch_size.buckets.clone(),
+        metrics,
+    }
+}
+
+fn start_server(name: &str, factory: &Factory, config: ServeConfig) -> Server {
+    Server::builder(config)
+        .register(name, {
+            let factory = Arc::clone(factory);
+            move || factory()
+        })
+        .start()
+        .expect("workload prepares")
+}
+
+/// One paired closed-loop saturation round: the same case set pushed
+/// through both servers back to back at full occupancy.
+#[derive(Debug, Serialize)]
+struct SaturationRound {
+    case_base: u64,
+    requests: u64,
+    unbatched_rps: f64,
+    batched_rps: f64,
+    ratio: f64,
+}
+
+/// One workload's full sweep: both mode reports, the paired open-loop
+/// peak-window ratios (diagnostic), and the paired closed-loop
+/// saturation rounds (which decide the batching verdict).
+struct Sweep {
+    unbatched: ModeReport,
+    batched: ModeReport,
+    peak_round_ratios: Vec<f64>,
+    saturation_rounds: Vec<SaturationRound>,
+    saturation_errors: u64,
+}
+
+impl Sweep {
+    /// Median of the paired saturation-round ratios — the drift- and
+    /// outlier-robust estimate of what batching does to saturated
+    /// throughput.
+    fn peak_ratio_median(&self) -> f64 {
+        if self.saturation_rounds.is_empty() {
+            return 1.0;
+        }
+        let mut sorted: Vec<f64> = self.saturation_rounds.iter().map(|r| r.ratio).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+        sorted[sorted.len() / 2]
+    }
+}
+
+/// Sweep every load level through the unbatched and batched servers.
+///
+/// The sub-peak levels run one window per mode. The peak level runs
+/// [`PEAK_ROUNDS`] shorter windows per mode, interleaved
+/// unbatched/batched with the same arrival seed in each round, and
+/// reports the aggregate plus the per-round paired ratios — the paired
+/// layout keeps host drift out of the batched-vs-unbatched comparison.
+fn run_sweep(name: &str, factory: &Factory, capacity_rps: f64, duration: Duration) -> Sweep {
+    let unbatched_config = ServeConfig::default()
+        .workers(WORKERS)
+        .queue_capacity(QUEUE_CAPACITY)
+        .max_batch(1);
+    let batched_config = ServeConfig::default()
+        .workers(WORKERS)
+        .queue_capacity(QUEUE_CAPACITY)
+        .max_batch(BATCHED_MAX_BATCH)
+        // Keep the straggler wait well under one service time: a worker
+        // stalled waiting for co-batchable arrivals is a worker not
+        // serving, and at saturation everything batchable is already
+        // queued when it pops.
+        .max_wait_us(500);
+    let unbatched = start_server(name, factory, unbatched_config);
+    let batched = start_server(name, factory, batched_config);
+
+    let mut unbatched_levels = Vec::new();
+    let mut batched_levels = Vec::new();
+    let mut peak_round_ratios = Vec::new();
+    let peak = LOAD_MULTIPLIERS.len() - 1;
+    for (i, multiplier) in LOAD_MULTIPLIERS.iter().enumerate() {
+        let offered_rps = (capacity_rps * multiplier).max(1.0);
+        let base_seed = 0x5EED_0000 + ((i as u64) << 4);
+        if i < peak {
+            eprintln!("  level {multiplier:>3}x ({offered_rps:.0} req/s offered)...");
+            for (server, levels) in [
+                (&unbatched, &mut unbatched_levels),
+                (&batched, &mut batched_levels),
+            ] {
+                server.reset_metrics();
+                let run = open_loop_poisson(server, name, offered_rps, duration, base_seed);
+                levels.push(level_report(
+                    *multiplier,
+                    offered_rps,
+                    base_seed,
+                    &[run],
+                    server.metrics_snapshot(),
+                ));
+            }
+        } else {
+            eprintln!(
+                "  level {multiplier:>3}x ({offered_rps:.0} req/s offered, {PEAK_ROUNDS} interleaved rounds)..."
+            );
+            unbatched.reset_metrics();
+            batched.reset_metrics();
+            let window = duration * 2 / 5;
+            let mut unbatched_runs = Vec::new();
+            let mut batched_runs = Vec::new();
+            for round in 0..PEAK_ROUNDS {
+                let seed = base_seed + round as u64;
+                // Alternate which mode goes first so any drift within a
+                // round pair averages out across rounds.
+                if round % 2 == 0 {
+                    unbatched_runs.push(open_loop_poisson(
+                        &unbatched,
+                        name,
+                        offered_rps,
+                        window,
+                        seed,
+                    ));
+                    batched_runs.push(open_loop_poisson(&batched, name, offered_rps, window, seed));
+                } else {
+                    batched_runs.push(open_loop_poisson(&batched, name, offered_rps, window, seed));
+                    unbatched_runs.push(open_loop_poisson(
+                        &unbatched,
+                        name,
+                        offered_rps,
+                        window,
+                        seed,
+                    ));
+                }
+            }
+            peak_round_ratios = unbatched_runs
+                .iter()
+                .zip(&batched_runs)
+                .map(|(u, b)| {
+                    let u_tput = u.throughput_rps();
+                    if u_tput == 0.0 {
+                        1.0
+                    } else {
+                        b.throughput_rps() / u_tput
+                    }
+                })
+                .collect();
+            unbatched_levels.push(level_report(
+                *multiplier,
+                offered_rps,
+                base_seed,
+                &unbatched_runs,
+                unbatched.metrics_snapshot(),
+            ));
+            batched_levels.push(level_report(
+                *multiplier,
+                offered_rps,
+                base_seed,
+                &batched_runs,
+                batched.metrics_snapshot(),
+            ));
+        }
+    }
+    // ---- Paired closed-loop saturation rounds ----
+    // Sized so each round runs roughly `duration` per mode at the
+    // calibrated capacity.
+    let per_client = ((duration.as_secs_f64() * capacity_rps) / (2.0 * SATURATION_CLIENTS as f64))
+        .ceil()
+        .max(2.0) as usize;
+    eprintln!(
+        "  saturation: {SATURATION_ROUNDS} paired closed-loop rounds \
+         ({SATURATION_CLIENTS} clients x {per_client} requests)..."
+    );
+    let mut saturation_rounds = Vec::new();
+    let mut saturation_errors = 0u64;
+    let requests = (SATURATION_CLIENTS * per_client) as u64;
+    for round in 0..SATURATION_ROUNDS {
+        // Fresh cases each round (shared by both modes within it) so no
+        // round measures a case mix another round already timed.
+        let case_base = 1_000_000 + (round as u64) * 100_000;
+        let mut measure = |server: &Server| {
+            let started = Instant::now();
+            let records = closed_loop(server, name, SATURATION_CLIENTS, per_client, case_base);
+            let secs = started.elapsed().as_secs_f64();
+            let ok = records.iter().filter(|r| r.response.is_ok()).count() as u64;
+            saturation_errors += requests - ok;
+            if secs == 0.0 {
+                0.0
+            } else {
+                ok as f64 / secs
+            }
+        };
+        // Alternate mode order, as in the open-loop peak rounds.
+        let (unbatched_rps, batched_rps) = if round % 2 == 0 {
+            let u = measure(&unbatched);
+            (u, measure(&batched))
+        } else {
+            let b = measure(&batched);
+            (measure(&unbatched), b)
+        };
+        saturation_rounds.push(SaturationRound {
+            case_base,
+            requests,
+            unbatched_rps,
+            batched_rps,
+            ratio: if unbatched_rps == 0.0 {
+                1.0
+            } else {
+                batched_rps / unbatched_rps
+            },
+        });
+    }
+
+    unbatched.shutdown(ShutdownMode::Drain);
+    batched.shutdown(ShutdownMode::Drain);
+    Sweep {
+        unbatched: ModeReport {
+            mode: "unbatched".to_string(),
+            max_batch: unbatched_config.max_batch,
+            max_wait_us: unbatched_config.max_wait_us,
+            levels: unbatched_levels,
+        },
+        batched: ModeReport {
+            mode: "batched".to_string(),
+            max_batch: batched_config.max_batch,
+            max_wait_us: batched_config.max_wait_us,
+            levels: batched_levels,
+        },
+        peak_round_ratios,
+        saturation_rounds,
+        saturation_errors,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut duration_ms: u64 = 500;
+    let mut workloads: Vec<String> = vec!["lnn".into(), "nvsa".into(), "prae".into()];
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--duration-ms" => {
+                duration_ms = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--duration-ms takes an integer");
+            }
+            "--workloads" => {
+                workloads = iter
+                    .next()
+                    .expect("--workloads takes a comma-separated list")
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
+            }
+            "--help" | "-h" => {
+                println!(
+                    "serve — latency–throughput characterization of nsai-serve\n\n\
+                     usage: serve [--duration-ms N] [--workloads lnn,nvsa,prae]\n\n\
+                     Sweeps open-loop Poisson load at {LOAD_MULTIPLIERS:?}x the\n\
+                     calibrated capacity, batched and unbatched, and writes\n\
+                     results/serve_report.json."
+                );
+                return;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (see --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let duration = Duration::from_millis(duration_ms);
+
+    let mut reports = Vec::new();
+    let mut total_errors = 0u64;
+    for name in &workloads {
+        let Some(factory) = factory_for(name) else {
+            eprintln!("error: unknown workload `{name}` (valid: lnn nvsa prae)");
+            std::process::exit(2);
+        };
+        eprintln!("calibrating {name}...");
+        let service_us = calibrate_service_us(&factory);
+        let capacity_rps = WORKERS as f64 * 1e6 / service_us;
+        eprintln!("{name}: {service_us:.0} µs/request, capacity ≈ {capacity_rps:.0} req/s");
+
+        let sweep = run_sweep(name, &factory, capacity_rps, duration);
+
+        let peak_unbatched = sweep
+            .unbatched
+            .levels
+            .last()
+            .map_or(0.0, |l| l.throughput_rps);
+        let peak_batched = sweep
+            .batched
+            .levels
+            .last()
+            .map_or(0.0, |l| l.throughput_rps);
+        let peak_ratio = sweep.peak_ratio_median();
+        total_errors += sweep
+            .unbatched
+            .levels
+            .iter()
+            .chain(&sweep.batched.levels)
+            .map(|l| l.errors)
+            .sum::<u64>()
+            + sweep.saturation_errors;
+        eprintln!(
+            "{name}: peak throughput {peak_unbatched:.0} req/s unbatched, {peak_batched:.0} req/s \
+             batched (median paired saturation ratio {peak_ratio:.3})"
+        );
+        reports.push(WorkloadReport {
+            workload: name.clone(),
+            service_us_calibrated: service_us,
+            capacity_rps,
+            peak_round_ratios: sweep.peak_round_ratios.clone(),
+            saturation_rounds: sweep.saturation_rounds,
+            peak_batched_over_unbatched: peak_ratio,
+            batched_ge_unbatched_at_peak: peak_ratio >= 1.0,
+            modes: vec![sweep.unbatched, sweep.batched],
+        });
+    }
+
+    let report = ServeReport {
+        schema: "serve_report/v1".to_string(),
+        workers: WORKERS,
+        queue_capacity: QUEUE_CAPACITY,
+        load_multipliers: LOAD_MULTIPLIERS.to_vec(),
+        peak_rounds: PEAK_ROUNDS,
+        duration_ms,
+        workloads: reports,
+        total_errors,
+    };
+
+    let dir = Path::new("results");
+    fs::create_dir_all(dir).expect("create results/");
+    let path = dir.join("serve_report.json");
+    let json = serde_json::to_string_pretty(&report).expect("serializable");
+    fs::write(&path, &json).expect("write report");
+    println!("wrote {} ({} bytes)", path.display(), json.len());
+    if total_errors > 0 {
+        eprintln!("error: {total_errors} served requests failed");
+        std::process::exit(1);
+    }
+}

@@ -21,6 +21,9 @@
 //!   so workload code stays free of bookkeeping.
 //! - [`memory`] — live-byte tracking, high-water marks, and storage
 //!   footprint registration (weights vs. codebooks, Fig. 3b).
+//! - [`metrics`] — lock-free counters and log-bucketed latency histograms
+//!   for population-level (serving) statistics: p50/p95/p99, queue
+//!   depths, batch-size distributions.
 //! - [`roofline`] — the roofline model used for Fig. 3c.
 //! - [`sparsity`] — sparsity statistics used for Fig. 5.
 //! - [`report`] — aggregation of an event stream into the tables the paper
@@ -61,6 +64,7 @@ pub mod error;
 pub mod event;
 pub mod export;
 pub mod memory;
+pub mod metrics;
 pub mod profile;
 pub mod report;
 pub mod roofline;

@@ -1,0 +1,417 @@
+//! Lock-free serving metrics: counters and HDR-style log-bucketed
+//! latency histograms.
+//!
+//! The profiler in [`crate::profile`] answers *where time goes inside one
+//! run*; this module answers *how a population of runs behaves under
+//! load* — the p50/p95/p99 latencies, queue depths, and batch-size
+//! distributions a serving layer reports. Recording must be cheap enough
+//! to sit on the request hot path, so everything here is a relaxed atomic
+//! increment: no locks, no allocation after construction.
+//!
+//! # Bucketing scheme
+//!
+//! [`LogHistogram`] stores unsigned samples (microseconds, batch sizes,
+//! queue depths — any `u64`) in buckets whose width grows geometrically,
+//! like HDR histograms: values below [`LogHistogram::LINEAR_MAX`] get
+//! exact unit buckets; above that, each power of two is split into
+//! [`LogHistogram::SUB_BUCKETS`] equal sub-buckets, bounding the relative
+//! quantile error at `1 / SUB_BUCKETS` (~3%) while keeping the whole
+//! histogram a few KiB of atomics.
+//!
+//! ```
+//! use nsai_core::metrics::LogHistogram;
+//!
+//! let h = LogHistogram::new();
+//! for v in 1..=1000u64 {
+//!     h.record(v);
+//! }
+//! assert_eq!(h.count(), 1000);
+//! let p50 = h.percentile(50.0);
+//! assert!((450..=550).contains(&p50), "p50 {p50}");
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A lock-free histogram over `u64` samples with logarithmic buckets.
+///
+/// Concurrent recorders never contend on anything but cache lines;
+/// readers observe a consistent-enough snapshot for reporting (relaxed
+/// counters may be momentarily ahead of buckets mid-record, which matters
+/// not at all for percentile reporting).
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl LogHistogram {
+    /// Values below this get exact unit-width buckets.
+    pub const LINEAR_MAX: u64 = 64;
+    /// Sub-buckets per power-of-two range above the linear region.
+    pub const SUB_BUCKETS: u64 = 32;
+    /// Highest representable value; larger samples clamp into the last
+    /// bucket (their exact value still feeds `sum` and `max`).
+    pub const CLAMP_MAX: u64 = 1 << 40;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        let n = Self::index_of(Self::CLAMP_MAX) + 1;
+        LogHistogram {
+            buckets: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index of `value` (clamped to the representable range).
+    fn index_of(value: u64) -> usize {
+        let v = value.min(Self::CLAMP_MAX);
+        if v < Self::LINEAR_MAX {
+            return v as usize;
+        }
+        // log2 region: [2^k, 2^(k+1)) split into SUB_BUCKETS slices.
+        let k = 63 - v.leading_zeros() as u64; // k >= 6
+        let base = Self::LINEAR_MAX;
+        let k0 = 6u64; // 2^6 == LINEAR_MAX
+        let sub = ((v - (1 << k)) * Self::SUB_BUCKETS) >> k;
+        (base + (k - k0) * Self::SUB_BUCKETS + sub) as usize
+    }
+
+    /// Lower edge of bucket `index` (the value reported for percentiles).
+    fn lower_bound(index: usize) -> u64 {
+        let i = index as u64;
+        if i < Self::LINEAR_MAX {
+            return i;
+        }
+        let k0 = 6u64;
+        let k = k0 + (i - Self::LINEAR_MAX) / Self::SUB_BUCKETS;
+        let sub = (i - Self::LINEAR_MAX) % Self::SUB_BUCKETS;
+        (1 << k) + (sub << k) / Self::SUB_BUCKETS
+    }
+
+    /// Record one sample. Wait-free: three relaxed atomic RMWs plus a CAS
+    /// loop for the max.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::index_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        let mut seen = self.max.load(Ordering::Relaxed);
+        while value > seen {
+            match self
+                .max
+                .compare_exchange_weak(seen, value, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(now) => seen = now,
+            }
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// The value at percentile `p` (0–100): the lower bound of the first
+    /// bucket whose cumulative count reaches `p`% of samples. Returns 0
+    /// for an empty histogram. Relative error is bounded by the bucket
+    /// width (`1 / SUB_BUCKETS` above the linear region).
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * total as f64)
+            .ceil()
+            .max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cumulative += b.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return Self::lower_bound(i);
+            }
+        }
+        self.max()
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs, in value order —
+    /// the compact export form for reports.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then(|| (Self::lower_bound(i), c))
+            })
+            .collect()
+    }
+
+    /// Reset all buckets and counters to zero.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A monotone event counter (submitted / completed / rejected ...).
+///
+/// A thin veneer over `AtomicU64` so metric structs read declaratively.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A high-water-mark gauge: tracks a current level and its maximum.
+///
+/// Used for queue depth: `raise` on enqueue, `lower` on dequeue, `peak`
+/// for the report. The peak is maintained with a CAS loop so concurrent
+/// raisers cannot lose an observed maximum.
+#[derive(Debug, Default)]
+pub struct PeakGauge {
+    level: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl PeakGauge {
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increase the level by `n` and fold the new level into the peak.
+    pub fn raise(&self, n: u64) {
+        let now = self.level.fetch_add(n, Ordering::Relaxed) + n;
+        let mut seen = self.peak.load(Ordering::Relaxed);
+        while now > seen {
+            match self
+                .peak
+                .compare_exchange_weak(seen, now, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(p) => seen = p,
+            }
+        }
+    }
+
+    /// Decrease the level by `n` (saturating).
+    pub fn lower(&self, n: u64) {
+        let mut seen = self.level.load(Ordering::Relaxed);
+        loop {
+            let next = seen.saturating_sub(n);
+            match self
+                .level
+                .compare_exchange_weak(seen, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(now) => seen = now,
+            }
+        }
+    }
+
+    /// Current level.
+    pub fn level(&self) -> u64 {
+        self.level.load(Ordering::Relaxed)
+    }
+
+    /// Highest level ever observed.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Forget the recorded peak, restarting it from the current level
+    /// (for measurement windows over a long-lived gauge).
+    pub fn reset_peak(&self) {
+        self.peak
+            .store(self.level.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_linear_max() {
+        let h = LogHistogram::new();
+        for v in 0..LogHistogram::LINEAR_MAX {
+            h.record(v);
+        }
+        for v in 0..LogHistogram::LINEAR_MAX {
+            assert_eq!(LogHistogram::lower_bound(LogHistogram::index_of(v)), v);
+        }
+        assert_eq!(h.count(), LogHistogram::LINEAR_MAX);
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone_and_tight() {
+        let mut prev = 0u64;
+        for i in 1..LogHistogram::index_of(LogHistogram::CLAMP_MAX) {
+            let lb = LogHistogram::lower_bound(i);
+            assert!(lb > prev, "bucket {i}: {lb} <= {prev}");
+            prev = lb;
+        }
+        // Every value maps to a bucket whose lower bound does not exceed it
+        // and whose width is within ~1/SUB_BUCKETS of it.
+        for v in [64u64, 65, 100, 1000, 4097, 1 << 20, (1 << 30) + 12345] {
+            let i = LogHistogram::index_of(v);
+            let lo = LogHistogram::lower_bound(i);
+            let hi = LogHistogram::lower_bound(i + 1);
+            assert!(lo <= v && v < hi, "{v} not in [{lo}, {hi})");
+            assert!(
+                (hi - lo) as f64 / v as f64 <= 1.0 / 16.0,
+                "bucket for {v} too wide: [{lo}, {hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let h = LogHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (p, expected) in [(50.0, 5_000u64), (95.0, 9_500), (99.0, 9_900)] {
+            let got = h.percentile(p);
+            let err = (got as f64 - expected as f64).abs() / expected as f64;
+            assert!(err < 0.08, "p{p}: got {got}, want ~{expected}");
+        }
+        assert_eq!(h.percentile(100.0), h.percentile(99.999));
+        assert_eq!(h.max(), 10_000);
+        assert_eq!(h.sum(), 10_000 * 10_001 / 2);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.is_empty());
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn huge_values_clamp_without_panicking() {
+        let h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(LogHistogram::CLAMP_MAX * 2);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert!(h.percentile(50.0) <= LogHistogram::CLAMP_MAX);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = LogHistogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+        let buckets: u64 = h.nonzero_buckets().iter().map(|(_, c)| c).sum();
+        assert_eq!(buckets, 40_000);
+    }
+
+    #[test]
+    fn counter_and_gauge() {
+        let c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+
+        let g = PeakGauge::new();
+        g.raise(3);
+        g.raise(2);
+        g.lower(4);
+        g.raise(1);
+        assert_eq!(g.level(), 2);
+        assert_eq!(g.peak(), 5);
+        g.lower(10);
+        assert_eq!(g.level(), 0);
+        assert_eq!(g.peak(), 5);
+    }
+
+    #[test]
+    fn reset_clears_histogram() {
+        let h = LogHistogram::new();
+        h.record(7);
+        h.record(700);
+        h.reset();
+        assert!(h.is_empty());
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.max(), 0);
+    }
+}

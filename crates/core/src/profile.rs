@@ -257,6 +257,13 @@ impl Scope {
         }
     }
 
+    /// Whether this scope captured a live profiler — i.e. entering it
+    /// will actually record events somewhere. Schedulers use this to
+    /// give traced work a faithful (unbatched) execution path.
+    pub fn is_traced(&self) -> bool {
+        self.profiler.is_some()
+    }
+
     /// Install the captured context on the current thread.
     ///
     /// While the guard lives, [`is_active`] is true, [`current_phase`]

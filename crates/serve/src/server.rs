@@ -1,0 +1,410 @@
+//! The serving loop: admission, worker-driven micro-batching, panic
+//! containment, and graceful shutdown.
+
+use crate::config::ServeConfig;
+use crate::metrics::{MetricsSnapshot, ServerMetrics};
+use crate::queue::{BoundedQueue, PushError};
+use crate::request::{QueuedRequest, Response, ServeError, Ticket};
+use nsai_core::profile::Scope;
+use nsai_workloads::{CaseInput, Workload, WorkloadError};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity; back off or shed the request.
+    QueueFull,
+    /// No workload with this name was registered.
+    UnknownWorkload(String),
+    /// The server has begun shutting down.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull => f.write_str("admission queue is full"),
+            SubmitError::UnknownWorkload(name) => write!(f, "unknown workload {name:?}"),
+            SubmitError::ShuttingDown => f.write_str("server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// How [`Server::shutdown`] treats work that is already admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShutdownMode {
+    /// Stop admitting, but serve everything already queued before
+    /// workers exit.
+    Drain,
+    /// Stop admitting and fail queued-but-undispatched requests with
+    /// [`ServeError::Aborted`]. Batches already executing still finish
+    /// (workloads are not preemptible).
+    Abort,
+}
+
+type Factory = Box<dyn Fn() -> Box<dyn Workload + Send> + Send + Sync>;
+
+struct Registration {
+    name: String,
+    factory: Factory,
+}
+
+/// Builds a [`Server`]: collects workload registrations, then
+/// constructs and prepares every replica before any worker starts.
+pub struct ServerBuilder {
+    config: ServeConfig,
+    registrations: Vec<Registration>,
+}
+
+impl fmt::Debug for ServerBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServerBuilder")
+            .field("config", &self.config)
+            .field(
+                "workloads",
+                &self
+                    .registrations
+                    .iter()
+                    .map(|r| r.name.as_str())
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl ServerBuilder {
+    /// Register a workload under `name`. The factory is called once per
+    /// worker at startup (each worker owns a private replica, so no
+    /// lock is held while serving) and again whenever a replica must be
+    /// rebuilt after a panic.
+    pub fn register(
+        mut self,
+        name: impl Into<String>,
+        factory: impl Fn() -> Box<dyn Workload + Send> + Send + Sync + 'static,
+    ) -> Self {
+        self.registrations.push(Registration {
+            name: name.into(),
+            factory: Box::new(factory),
+        });
+        self
+    }
+
+    /// Construct and prepare all `workers × workloads` replicas, then
+    /// start the worker threads. Preparation happens on the calling
+    /// thread so configuration errors surface here rather than as
+    /// failed requests.
+    pub fn start(self) -> Result<Server, WorkloadError> {
+        let ServerBuilder {
+            config,
+            registrations,
+        } = self;
+        let shared = Arc::new(SharedState {
+            config,
+            queue: BoundedQueue::new(config.queue_capacity),
+            metrics: ServerMetrics::new(),
+            registrations,
+        });
+
+        let mut replica_sets = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let mut replicas: Vec<Box<dyn Workload + Send>> =
+                Vec::with_capacity(shared.registrations.len());
+            for registration in &shared.registrations {
+                let mut replica = (registration.factory)();
+                replica.prepare()?;
+                replicas.push(replica);
+            }
+            replica_sets.push(replicas);
+        }
+
+        let workers = replica_sets
+            .into_iter()
+            .enumerate()
+            .map(|(id, replicas)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("nsai-serve-{id}"))
+                    .spawn(move || worker_loop(&shared, replicas))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+
+        Ok(Server {
+            shared,
+            workers: parking_lot::Mutex::new(Some(workers)),
+        })
+    }
+}
+
+struct SharedState {
+    config: ServeConfig,
+    queue: BoundedQueue,
+    metrics: ServerMetrics,
+    registrations: Vec<Registration>,
+}
+
+impl SharedState {
+    fn workload_index(&self, name: &str) -> Option<usize> {
+        self.registrations.iter().position(|r| r.name == name)
+    }
+}
+
+/// In-process inference server. See the [crate docs](crate) for the
+/// architecture; construct via [`Server::builder`].
+pub struct Server {
+    shared: Arc<SharedState>,
+    /// `Some` while running; taken by the first shutdown.
+    workers: parking_lot::Mutex<Option<Vec<JoinHandle<()>>>>,
+}
+
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Server")
+            .field("config", &self.shared.config)
+            .field("queue_depth", &self.shared.queue.len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Start describing a server with the given configuration.
+    pub fn builder(config: ServeConfig) -> ServerBuilder {
+        ServerBuilder {
+            config,
+            registrations: Vec::new(),
+        }
+    }
+
+    /// Names of the registered workloads, in registration order.
+    pub fn workloads(&self) -> Vec<&str> {
+        self.shared
+            .registrations
+            .iter()
+            .map(|r| r.name.as_str())
+            .collect()
+    }
+
+    /// Submit one request. Admission is immediate: the request is
+    /// either queued (returning a [`Ticket`]) or rejected. The caller's
+    /// profiling context ([`Scope::capture`]) rides along, so a request
+    /// submitted under an active profiler is traced into it even though
+    /// it executes on a worker thread.
+    pub fn submit(&self, workload: &str, input: CaseInput) -> Result<Ticket, SubmitError> {
+        self.submit_inner(workload, input, false)
+    }
+
+    /// Like [`Server::submit`], but block while the queue is full
+    /// instead of rejecting — the closed-loop client discipline. Still
+    /// fails on a zero-capacity queue or during shutdown.
+    pub fn submit_blocking(&self, workload: &str, input: CaseInput) -> Result<Ticket, SubmitError> {
+        self.submit_inner(workload, input, true)
+    }
+
+    fn submit_inner(
+        &self,
+        workload: &str,
+        input: CaseInput,
+        blocking: bool,
+    ) -> Result<Ticket, SubmitError> {
+        let shared = &self.shared;
+        let index = shared
+            .workload_index(workload)
+            .ok_or_else(|| SubmitError::UnknownWorkload(workload.to_string()))?;
+        let now = Instant::now();
+        let (ticket, slot) = Ticket::new();
+        let request = QueuedRequest {
+            workload: index,
+            input,
+            scope: Scope::capture(),
+            slot,
+            submitted_at: now,
+            deadline: shared.config.timeout.map(|t| now + t),
+        };
+        let pushed = if blocking {
+            shared.queue.push_wait(request)
+        } else {
+            shared.queue.try_push(request)
+        };
+        match pushed {
+            Ok(_) => {
+                shared.metrics.submitted.incr();
+                shared.metrics.queue_depth.raise(1);
+                Ok(ticket)
+            }
+            Err(PushError::Full) => {
+                shared.metrics.rejected.incr();
+                Err(SubmitError::QueueFull)
+            }
+            Err(PushError::Closed) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Live aggregate metrics.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.shared.metrics
+    }
+
+    /// Freeze the current metrics.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Zero the metrics for a fresh measurement window without
+    /// restarting (and re-preparing) the server.
+    pub fn reset_metrics(&self) {
+        self.shared.metrics.reset();
+    }
+
+    /// Stop the server and join its workers. Idempotent; the second
+    /// call is a no-op. See [`ShutdownMode`] for what happens to
+    /// already-admitted requests.
+    pub fn shutdown(&self, mode: ShutdownMode) {
+        let Some(workers) = self.workers.lock().take() else {
+            return;
+        };
+        let orphans = self.shared.queue.close(matches!(mode, ShutdownMode::Drain));
+        for request in orphans {
+            self.shared.metrics.aborted.incr();
+            self.shared.metrics.queue_depth.lower(1);
+            request.slot.complete(Err(ServeError::Aborted));
+        }
+        for worker in workers {
+            // A worker that panicked outside `catch_unwind` (a bug, not
+            // a workload panic) surfaces here rather than hanging.
+            worker.join().expect("serve worker exited cleanly");
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown(ShutdownMode::Abort);
+    }
+}
+
+/// One worker: pop, coalesce, filter expired, execute, deliver.
+fn worker_loop(shared: &SharedState, mut replicas: Vec<Box<dyn Workload + Send>>) {
+    while let Some(first) = shared.queue.pop_wait() {
+        let workload = first.workload;
+        let mut batch = vec![first];
+        if shared.config.max_batch > 1 {
+            shared.queue.fill_batch(
+                workload,
+                &mut batch,
+                shared.config.max_batch,
+                std::time::Duration::from_micros(shared.config.max_wait_us),
+            );
+        }
+        shared.metrics.queue_depth.lower(batch.len() as u64);
+
+        let dispatched_at = Instant::now();
+        let mut live = Vec::with_capacity(batch.len());
+        for request in batch {
+            if request.deadline.is_some_and(|d| dispatched_at > d) {
+                shared.metrics.timed_out.incr();
+                request.slot.complete(Err(ServeError::DeadlineExceeded));
+            } else {
+                shared
+                    .metrics
+                    .queue_wait_us
+                    .record(micros_between(request.submitted_at, dispatched_at));
+                live.push(request);
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
+        shared.metrics.batch_size.record(live.len() as u64);
+
+        // Traced requests (submitted under an active profiler) run
+        // individually so their events attribute to exactly one
+        // request; the rest execute as one `run_batch` call.
+        let (traced, untraced): (Vec<_>, Vec<_>) =
+            live.into_iter().partition(|r| r.scope.is_traced());
+
+        if !untraced.is_empty() {
+            let inputs: Vec<CaseInput> = untraced.iter().map(|r| r.input).collect();
+            let replica = &mut replicas[workload];
+            let started = Instant::now();
+            let outcome = catch_unwind(AssertUnwindSafe(|| replica.run_batch(&inputs)));
+            let service_us = micros_between(started, Instant::now());
+            match outcome {
+                Ok(results) => {
+                    debug_assert_eq!(results.len(), untraced.len());
+                    for (request, result) in untraced.into_iter().zip(results) {
+                        deliver(shared, request, result.map_err(workload_error), service_us);
+                    }
+                }
+                Err(_) => {
+                    fail_batch_and_rebuild(shared, workload, replica, untraced, service_us);
+                }
+            }
+        }
+
+        for request in traced {
+            let replica = &mut replicas[workload];
+            let started = Instant::now();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let _guard = request.scope.enter();
+                replica.run_case(&request.input)
+            }));
+            let service_us = micros_between(started, Instant::now());
+            match outcome {
+                Ok(result) => deliver(shared, request, result.map_err(workload_error), service_us),
+                Err(_) => {
+                    fail_batch_and_rebuild(shared, workload, replica, vec![request], service_us);
+                }
+            }
+        }
+    }
+}
+
+fn workload_error(error: WorkloadError) -> ServeError {
+    ServeError::Workload(error.to_string())
+}
+
+fn deliver(shared: &SharedState, request: QueuedRequest, response: Response, service_us: u64) {
+    shared.metrics.service_us.record(service_us);
+    shared
+        .metrics
+        .total_us
+        .record(micros_between(request.submitted_at, Instant::now()));
+    shared.metrics.completed.incr();
+    request.slot.complete(response);
+}
+
+/// A workload panic poisons only its batch: every request in it fails
+/// with [`ServeError::WorkerPanicked`], the replica is rebuilt from its
+/// factory, and the worker keeps serving.
+fn fail_batch_and_rebuild(
+    shared: &SharedState,
+    workload: usize,
+    replica: &mut Box<dyn Workload + Send>,
+    batch: Vec<QueuedRequest>,
+    service_us: u64,
+) {
+    for request in batch {
+        shared.metrics.panicked.incr();
+        shared.metrics.service_us.record(service_us);
+        shared
+            .metrics
+            .total_us
+            .record(micros_between(request.submitted_at, Instant::now()));
+        request.slot.complete(Err(ServeError::WorkerPanicked));
+    }
+    let mut fresh = (shared.registrations[workload].factory)();
+    // A prepare error here is not fatal: the replaced replica reports
+    // it per-request via `run_case`'s own prepare path.
+    let _ = fresh.prepare();
+    *replica = fresh;
+}
+
+fn micros_between(start: Instant, end: Instant) -> u64 {
+    end.saturating_duration_since(start).as_micros() as u64
+}

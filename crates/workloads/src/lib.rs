@@ -51,7 +51,14 @@ pub mod workload;
 pub mod zeroc;
 
 pub use error::WorkloadError;
-pub use workload::{Workload, WorkloadOutput};
+pub use lnn::{Lnn, LnnConfig};
+pub use ltn::{Ltn, LtnConfig};
+pub use nlm::{Nlm, NlmConfig};
+pub use nvsa::{Nvsa, NvsaConfig};
+pub use prae::{Prae, PraeConfig};
+pub use vsait::{Vsait, VsaitConfig};
+pub use workload::{CaseInput, Workload, WorkloadOutput};
+pub use zeroc::{ZeroC, ZeroCConfig};
 
 /// Construct all seven workloads with small default configurations —
 /// the set iterated by Fig. 2a / 3a / 3b / 3c harnesses.

@@ -10,7 +10,7 @@
 //! *dense* outlier in the paper's sparsity analysis, Fig. 5 discussion).
 
 use crate::error::WorkloadError;
-use crate::workload::{Workload, WorkloadOutput};
+use crate::workload::{CaseInput, Workload, WorkloadOutput};
 use nsai_core::profile::{self, phase_scope, OpMeta};
 use nsai_core::taxonomy::{NsCategory, OpCategory, Phase};
 use nsai_data::tabular::BlobDataset;
@@ -226,7 +226,28 @@ impl Workload for Ltn {
         NsCategory::NeuroSubSymbolic
     }
 
-    fn run(&mut self) -> Result<WorkloadOutput, WorkloadError> {
+    fn run_case(&mut self, input: &CaseInput) -> Result<WorkloadOutput, WorkloadError> {
+        // An LTN episode trains the grounding from scratch. Re-derive the
+        // predicate weights and the grounding dataset from the episode
+        // seed so each case is self-contained: reproducible on any
+        // replica, unaffected by whatever trained on this instance
+        // before. Case 0 re-creates exactly the state `Ltn::new` built.
+        let seed = input.derive_seed(self.config.seed);
+        self.predicates = (0..self.config.classes)
+            .map(|c| {
+                Mlp::new(
+                    &[self.config.dim, 64, 64, 1],
+                    seed.wrapping_add(c as u64 * 71),
+                )
+            })
+            .collect();
+        self.dataset = BlobDataset::generate(
+            self.config.classes,
+            self.config.per_class,
+            self.config.dim,
+            0.5,
+            seed,
+        );
         {
             let _neural = phase_scope(Phase::Neural);
             let mut params = 0usize;
@@ -330,6 +351,22 @@ mod tests {
         assert!(matmul_share > 0.3, "matmul share {matmul_share}");
         // Symbolic work exists.
         assert!(report.phase_fraction(Phase::Symbolic) > 0.02);
+    }
+
+    #[test]
+    fn episodes_are_self_contained() {
+        // Running twice on one instance gives bitwise-identical outputs
+        // (each case retrains from its own seed), and matches a fresh
+        // instance — the serving replica-independence contract.
+        let mut a = Ltn::new(LtnConfig::small());
+        let first = a.run_case(&CaseInput::new(0)).unwrap();
+        let second = a.run_case(&CaseInput::new(0)).unwrap();
+        assert_eq!(first, second);
+        let mut b = Ltn::new(LtnConfig::small());
+        assert_eq!(first, b.run().unwrap());
+        // A different case trains a different episode.
+        let other = a.run_case(&CaseInput::new(1)).unwrap();
+        assert_ne!(first, other);
     }
 
     #[test]

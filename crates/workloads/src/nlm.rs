@@ -17,7 +17,7 @@
 //! lifted rule `grandparent = parent ∘ parent` is representable).
 
 use crate::error::WorkloadError;
-use crate::workload::{Workload, WorkloadOutput};
+use crate::workload::{CaseInput, Workload, WorkloadOutput};
 use nsai_core::profile::phase_scope;
 use nsai_core::taxonomy::{NsCategory, Phase};
 use nsai_data::family::FamilyGraph;
@@ -272,7 +272,7 @@ impl Workload for Nlm {
         self.prepare_impl()
     }
 
-    fn run(&mut self) -> Result<WorkloadOutput, WorkloadError> {
+    fn run_case(&mut self, input: &CaseInput) -> Result<WorkloadOutput, WorkloadError> {
         self.prepare_impl()?;
         {
             let _neural = phase_scope(Phase::Neural);
@@ -282,8 +282,14 @@ impl Workload for Nlm {
             }
             nsai_core::profile::register_storage("nlm.weights", (params * 4) as u64);
         }
+        // The training family is part of the model (the head was fitted on
+        // it); the episode varies which unseen family the lifted rule is
+        // asked to generalize to.
         let train_family = FamilyGraph::generate(self.config.train_people, self.config.seed);
-        let test_family = FamilyGraph::generate(self.config.test_people, self.config.seed + 1);
+        let test_family = FamilyGraph::generate(
+            self.config.test_people,
+            input.derive_seed(self.config.seed + 1),
+        );
 
         // ----- Inference on the training family -----
         let features = self.features(&train_family)?;

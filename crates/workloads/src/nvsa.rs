@@ -16,7 +16,7 @@
 
 use crate::error::WorkloadError;
 use crate::perception::{Perception, PerceptionMode};
-use crate::workload::{Workload, WorkloadOutput};
+use crate::workload::{CaseInput, Workload, WorkloadOutput};
 use nsai_core::profile::phase_scope;
 use nsai_core::taxonomy::{NsCategory, Phase};
 use nsai_core::SparsityStats;
@@ -218,6 +218,51 @@ impl Nvsa {
         }
     }
 
+    /// Static storage footprints (Fig. 3b): perception weights are
+    /// neural-side, codebooks symbolic-side.
+    fn register_storage_footprints(&self) {
+        {
+            let _neural = phase_scope(Phase::Neural);
+            nsai_core::profile::register_storage(
+                "nvsa.perception.weights",
+                self.perception.storage_bytes(),
+            );
+        }
+        let _sym = phase_scope(Phase::Symbolic);
+        for cb in &self.codebooks {
+            nsai_core::profile::register_storage(
+                &format!("nvsa.{}.codebook", cb.name()),
+                cb.bytes(),
+            );
+        }
+    }
+
+    /// Argmax over the combined candidate log-likelihoods.
+    fn select_answer(combined: &[f32]) -> usize {
+        combined
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+            .map(|(i, _)| i)
+            .expect("candidates exist")
+    }
+
+    /// Final metrics of one episode.
+    fn episode_output(
+        correct: usize,
+        rule_hits: usize,
+        problems: usize,
+        components: usize,
+    ) -> WorkloadOutput {
+        let mut out = WorkloadOutput::new();
+        out.set("accuracy", correct as f64 / problems as f64);
+        out.set(
+            "rule_detection_accuracy",
+            rule_hits as f64 / (problems * components * 5) as f64,
+        );
+        out
+    }
+
     /// Predict a row's last element from its earlier elements under a rule
     /// hypothesis, in VSA space.
     fn predict(
@@ -265,7 +310,6 @@ impl Nvsa {
     /// Solve one component problem. Returns (per-candidate
     /// log-likelihoods, rule hits).
     fn solve(&mut self, problem: &RpmProblem) -> Result<(Vec<f32>, usize), WorkloadError> {
-        let grid = problem.grid;
         // ---------------- Neural frontend ----------------
         let mut context_pmfs = Vec::with_capacity(problem.context().len());
         for panel in problem.context() {
@@ -275,7 +319,20 @@ impl Nvsa {
         for panel in &problem.candidates {
             candidate_pmfs.push(self.perception.infer_pmfs(panel)?);
         }
+        self.solve_with_pmfs(problem, context_pmfs, candidate_pmfs)
+    }
 
+    /// The symbolic backend of [`Nvsa::solve`], taking already-perceived
+    /// PMFs. Split out so a request batch can run one shared perception
+    /// forward over every panel ([`Perception::infer_pmfs_batch`]) and
+    /// feed the slices through here per problem.
+    fn solve_with_pmfs(
+        &mut self,
+        problem: &RpmProblem,
+        context_pmfs: Vec<Vec<Vec<f32>>>,
+        candidate_pmfs: Vec<Vec<Vec<f32>>>,
+    ) -> Result<(Vec<f32>, usize), WorkloadError> {
+        let grid = problem.grid;
         // ---------------- Host→device boundary ----------------
         // The PMFs cross from the neural stage to the symbolic stage — on
         // the paper's testbed this is a CPU↔GPU transfer on the critical
@@ -394,28 +451,11 @@ impl Workload for Nvsa {
         self.prepare_impl()
     }
 
-    fn run(&mut self) -> Result<WorkloadOutput, WorkloadError> {
+    fn run_case(&mut self, input: &CaseInput) -> Result<WorkloadOutput, WorkloadError> {
         self.prepare()?;
-        // Static storage footprints (Fig. 3b): perception weights are
-        // neural-side, codebooks symbolic-side.
-        {
-            let _neural = phase_scope(Phase::Neural);
-            nsai_core::profile::register_storage(
-                "nvsa.perception.weights",
-                self.perception.storage_bytes(),
-            );
-        }
-        {
-            let _sym = phase_scope(Phase::Symbolic);
-            for cb in &self.codebooks {
-                nsai_core::profile::register_storage(
-                    &format!("nvsa.{}.codebook", cb.name()),
-                    cb.bytes(),
-                );
-            }
-        }
+        self.register_storage_footprints();
         self.sparsity.clear();
-        let mut generator = RpmGenerator::new(self.config.seed + 7);
+        let mut generator = RpmGenerator::new(input.derive_seed(self.config.seed + 7));
         let mut correct = 0usize;
         let mut rule_hits = 0usize;
         let problems = self.config.problems;
@@ -432,23 +472,82 @@ impl Workload for Nvsa {
                 }
                 rule_hits += hits;
             }
-            let answer = combined
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
-                .map(|(i, _)| i)
-                .expect("candidates exist");
-            if answer == parts[0].answer {
+            if Self::select_answer(&combined) == parts[0].answer {
                 correct += 1;
             }
         }
-        let mut out = WorkloadOutput::new();
-        out.set("accuracy", correct as f64 / problems as f64);
-        out.set(
-            "rule_detection_accuracy",
-            rule_hits as f64 / (problems * components * 5) as f64,
-        );
-        Ok(out)
+        Ok(Self::episode_output(
+            correct, rule_hits, problems, components,
+        ))
+    }
+
+    /// Batched episodes share one neural forward: every panel of every
+    /// problem of every request goes through a single
+    /// [`Perception::infer_pmfs_batch`] call, then each problem's slice
+    /// feeds the sequential symbolic backend. Per-panel PMFs are
+    /// bitwise-identical to the per-case path, so each output matches the
+    /// corresponding `run_case` exactly.
+    fn run_batch(&mut self, inputs: &[CaseInput]) -> Vec<Result<WorkloadOutput, WorkloadError>> {
+        if inputs.len() <= 1 || self.prepare().is_err() {
+            return inputs.iter().map(|i| self.run_case(i)).collect();
+        }
+        self.register_storage_footprints();
+        self.sparsity.clear();
+        let problems = self.config.problems;
+        let components = self.config.components.max(1);
+        // Generate every case's problems, flattening all panels into one
+        // perception batch (context panels first, then candidates, per
+        // part).
+        let mut cases: Vec<Vec<Vec<RpmProblem>>> = Vec::with_capacity(inputs.len());
+        let mut panels = Vec::new();
+        for input in inputs {
+            let mut generator = RpmGenerator::new(input.derive_seed(self.config.seed + 7));
+            let case: Vec<Vec<RpmProblem>> = (0..problems)
+                .map(|_| generator.generate_composite(self.config.grid, components))
+                .collect();
+            for parts in &case {
+                for part in parts {
+                    panels.extend_from_slice(part.context());
+                    panels.extend_from_slice(&part.candidates);
+                }
+            }
+            cases.push(case);
+        }
+        let all_pmfs = match self.perception.infer_pmfs_batch(&panels) {
+            Ok(p) => p,
+            // A perception failure would hit every case identically; let
+            // the per-case path surface it per request.
+            Err(_) => return inputs.iter().map(|i| self.run_case(i)).collect(),
+        };
+        let mut cursor = all_pmfs.into_iter();
+        cases
+            .into_iter()
+            .map(|case| {
+                let mut correct = 0usize;
+                let mut rule_hits = 0usize;
+                for parts in &case {
+                    let mut combined = vec![0.0f32; parts[0].candidates.len()];
+                    for part in parts {
+                        let context_pmfs: Vec<_> =
+                            cursor.by_ref().take(part.context().len()).collect();
+                        let candidate_pmfs: Vec<_> =
+                            cursor.by_ref().take(part.candidates.len()).collect();
+                        let (lls, hits) =
+                            self.solve_with_pmfs(part, context_pmfs, candidate_pmfs)?;
+                        for (acc, ll) in combined.iter_mut().zip(&lls) {
+                            *acc += ll;
+                        }
+                        rule_hits += hits;
+                    }
+                    if Self::select_answer(&combined) == parts[0].answer {
+                        correct += 1;
+                    }
+                }
+                Ok(Self::episode_output(
+                    correct, rule_hits, problems, components,
+                ))
+            })
+            .collect()
     }
 }
 
@@ -575,6 +674,49 @@ mod tests {
         for r in records.iter().filter(|r| r.module == "pmf_to_vsa") {
             assert!(r.stats.sparsity() > 0.7, "{}: {}", r.attribute, r.stats);
         }
+    }
+
+    #[test]
+    fn batch_outputs_match_per_case_runs() {
+        // Trained (non-oracle) perception so the shared batched forward is
+        // actually exercised; bitwise equality pins batching as a pure
+        // scheduling optimization.
+        let config = NvsaConfig {
+            grid: 3,
+            dim: 512,
+            res: 16,
+            mode: PerceptionMode::Neural,
+            problems: 1,
+            components: 1,
+            seed: 21,
+        };
+        let mut batch_instance = Nvsa::new(config.clone());
+        let mut single_instance = Nvsa::new(config);
+        let inputs: Vec<CaseInput> = (0..3).map(CaseInput::new).collect();
+        let batched = batch_instance.run_batch(&inputs);
+        for (input, batched) in inputs.iter().zip(&batched) {
+            let single = single_instance.run_case(input).unwrap();
+            let batched = batched.as_ref().unwrap();
+            for ((name, s), (_, b)) in single.metrics().zip(batched.metrics()) {
+                assert_eq!(
+                    s.to_bits(),
+                    b.to_bits(),
+                    "case {} metric {name}",
+                    input.case
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn case_zero_matches_legacy_run() {
+        let mut a = Nvsa::new(oracle_config(3, 2));
+        let mut b = Nvsa::new(oracle_config(3, 2));
+        assert_eq!(a.run().unwrap(), b.run_case(&CaseInput::new(0)).unwrap());
+        // Distinct cases draw distinct problem sets from the generator.
+        let c5 = b.run_case(&CaseInput::new(5)).unwrap();
+        let c5_again = b.run_case(&CaseInput::new(5)).unwrap();
+        assert_eq!(c5, c5_again, "cases must be reproducible");
     }
 
     #[test]

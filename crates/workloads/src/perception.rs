@@ -245,6 +245,83 @@ impl Perception {
         }
         Ok(pmfs)
     }
+
+    /// Map a batch of panels to their attribute PMFs in one forward pass:
+    /// a single concatenated ConvNet extraction and one GEMM per attribute
+    /// head, instead of a full pipeline per panel. This is the shared-work
+    /// payoff the serving micro-batcher exploits for NVSA and PrAE.
+    ///
+    /// Every stage is row-independent — convolution per image, feature
+    /// standardization element-wise under `[1, d]` broadcast, the head
+    /// GEMMs per output row, and softmax per row of the last dimension —
+    /// so `out[i]` is bitwise-identical to `infer_pmfs(&panels[i])`
+    /// regardless of batch composition (pinned by a test below).
+    ///
+    /// # Errors
+    ///
+    /// As [`Perception::infer_pmfs`].
+    pub fn infer_pmfs_batch(
+        &mut self,
+        panels: &[Panel],
+    ) -> Result<Vec<Vec<Vec<f32>>>, WorkloadError> {
+        if panels.is_empty() {
+            return Ok(Vec::new());
+        }
+        if matches!(self.mode, PerceptionMode::Neural) && !self.trained {
+            return Err(WorkloadError::Config(
+                "neural perception must be trained before inference".into(),
+            ));
+        }
+        let _neural = phase_scope(Phase::Neural);
+        // Extract conv features in panel chunks (one RPM problem's worth
+        // of panels) rather than one giant concatenated batch.
+        // Convolution, pooling, and flatten are all per-sample, so the
+        // chunk size cannot change any bit of the output — but a full
+        // serving batch of rendered panels blows the conv intermediates
+        // (batch × panels × channels × res²) far past L2, which costs
+        // more than the batching saves. Chunks keep the conv working set
+        // bounded while the attribute heads below still see the whole
+        // batch in one GEMM per head (weight reuse across every panel).
+        const CONV_CHUNK: usize = 16;
+        let feature_chunks: Vec<Tensor> = panels
+            .chunks(CONV_CHUNK)
+            .map(|chunk| -> Result<Tensor, WorkloadError> {
+                let images: Vec<Tensor> = chunk
+                    .iter()
+                    .map(|p| p.render(self.res).reshape(&[1, 1, self.res, self.res]))
+                    .collect::<Result<_, _>>()?;
+                let image_refs: Vec<&Tensor> = images.iter().collect();
+                Ok(self.convnet.extract(&Tensor::concat(&image_refs, 0)?))
+            })
+            .collect::<Result<_, _>>()?;
+        let chunk_refs: Vec<&Tensor> = feature_chunks.iter().collect();
+        let raw = Tensor::concat(&chunk_refs, 0)?;
+        let features = self.standardize(&raw)?;
+        let mut out = vec![Vec::with_capacity(5); panels.len()];
+        for (attr, head) in self.heads.iter_mut().enumerate() {
+            let logits = head.forward(&features);
+            let probs = logits.softmax()?;
+            let card = ATTRIBUTE_CARDINALITIES[attr];
+            for (i, row) in probs.data().chunks_exact(card).enumerate() {
+                let pmf = match self.mode {
+                    PerceptionMode::Neural => row.to_vec(),
+                    PerceptionMode::Oracle { noise } => {
+                        let truth = panels[i].attributes()[attr];
+                        let off = if card > 1 {
+                            noise / (card - 1) as f32
+                        } else {
+                            0.0
+                        };
+                        (0..card)
+                            .map(|v| if v == truth { 1.0 - noise } else { off })
+                            .collect()
+                    }
+                };
+                out[i].push(pmf);
+            }
+        }
+        Ok(out)
+    }
 }
 
 /// Per-column `(mean, 1/std)` of a `[n, d]` feature batch, for
@@ -328,6 +405,38 @@ mod tests {
         assert!(acc[1] > 0.18, "number accuracy {acc:?}"); // chance 0.11
         assert!(acc[3] > 0.25, "size accuracy {acc:?}"); // chance 0.17
         assert!(acc[4] > 0.15, "color accuracy {acc:?}"); // chance 0.10
+    }
+
+    #[test]
+    fn batched_inference_is_bitwise_identical_to_single() {
+        let mut p = Perception::new(PerceptionMode::Neural, 16, 5);
+        p.train(60, 20, 11).unwrap();
+        let mut generator = RpmGenerator::new(123);
+        let problem = generator.generate(3);
+        let panels: Vec<Panel> = problem
+            .matrix
+            .iter()
+            .chain(problem.candidates.iter())
+            .copied()
+            .collect();
+        let batched = p.infer_pmfs_batch(&panels).unwrap();
+        assert_eq!(batched.len(), panels.len());
+        for (i, panel) in panels.iter().enumerate() {
+            let single = p.infer_pmfs(panel).unwrap();
+            assert_eq!(single.len(), batched[i].len());
+            for (attr, (s, b)) in single.iter().zip(&batched[i]).enumerate() {
+                let s_bits: Vec<u32> = s.iter().map(|x| x.to_bits()).collect();
+                let b_bits: Vec<u32> = b.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(s_bits, b_bits, "panel {i} attr {attr} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_ok() {
+        let mut p = Perception::new(PerceptionMode::Oracle { noise: 0.1 }, 16, 6);
+        p.train(0, 0, 1).unwrap();
+        assert!(p.infer_pmfs_batch(&[]).unwrap().is_empty());
     }
 
     #[test]

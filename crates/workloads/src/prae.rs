@@ -14,7 +14,7 @@
 use crate::error::WorkloadError;
 use crate::nvsa::RuleKind;
 use crate::perception::{Perception, PerceptionMode};
-use crate::workload::{Workload, WorkloadOutput};
+use crate::workload::{CaseInput, Workload, WorkloadOutput};
 use nsai_core::profile::{self, phase_scope, OpMeta};
 use nsai_core::taxonomy::{NsCategory, OpCategory, Phase};
 use nsai_data::rpm::{RpmGenerator, RpmProblem, ATTRIBUTE_CARDINALITIES};
@@ -78,6 +78,28 @@ impl Prae {
             self.prepared = true;
         }
         Ok(())
+    }
+
+    /// Argmax over the combined candidate log-likelihoods.
+    fn select_answer(combined: &[f32]) -> usize {
+        combined
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+            .map(|(i, _)| i)
+            .expect("candidates exist")
+    }
+
+    /// Final metrics of one episode.
+    fn episode_output(&self, correct: usize, rule_hits: usize) -> WorkloadOutput {
+        let components = self.config.components.max(1);
+        let mut out = WorkloadOutput::new();
+        out.set("accuracy", correct as f64 / self.config.problems as f64);
+        out.set(
+            "rule_detection_accuracy",
+            rule_hits as f64 / (self.config.problems * components * 5) as f64,
+        );
+        out
     }
 
     /// Predict the PMF of a row's last element under a rule hypothesis —
@@ -269,7 +291,6 @@ impl Prae {
     }
 
     fn solve(&mut self, problem: &RpmProblem) -> Result<(Vec<f32>, usize), WorkloadError> {
-        let grid = problem.grid;
         // ---------------- Neural frontend ----------------
         let mut context_pmfs = Vec::with_capacity(problem.context().len());
         for panel in problem.context() {
@@ -279,7 +300,19 @@ impl Prae {
         for panel in &problem.candidates {
             candidate_pmfs.push(self.perception.infer_pmfs(panel)?);
         }
+        self.solve_with_pmfs(problem, context_pmfs, candidate_pmfs)
+    }
 
+    /// The probability-space backend of [`Prae::solve`], taking
+    /// already-perceived PMFs — the seam that lets a request batch share
+    /// one [`Perception::infer_pmfs_batch`] forward across problems.
+    fn solve_with_pmfs(
+        &mut self,
+        problem: &RpmProblem,
+        context_pmfs: Vec<Vec<Vec<f32>>>,
+        candidate_pmfs: Vec<Vec<Vec<f32>>>,
+    ) -> Result<(Vec<f32>, usize), WorkloadError> {
+        let grid = problem.grid;
         // ---------------- Symbolic backend ----------------
         let _sym = phase_scope(Phase::Symbolic);
         // Pipeline boundary (Fig. 4): scene representation crosses to the
@@ -469,13 +502,13 @@ impl Workload for Prae {
         self.prepare_impl()
     }
 
-    fn run(&mut self) -> Result<WorkloadOutput, WorkloadError> {
+    fn run_case(&mut self, input: &CaseInput) -> Result<WorkloadOutput, WorkloadError> {
         self.prepare()?;
         {
             let _neural = phase_scope(Phase::Neural);
             profile::register_storage("prae.perception.weights", self.perception.storage_bytes());
         }
-        let mut generator = RpmGenerator::new(self.config.seed + 7);
+        let mut generator = RpmGenerator::new(input.derive_seed(self.config.seed + 7));
         let mut correct = 0usize;
         let mut rule_hits = 0usize;
         let components = self.config.components.max(1);
@@ -489,23 +522,75 @@ impl Workload for Prae {
                 }
                 rule_hits += hits;
             }
-            let answer = combined
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
-                .map(|(i, _)| i)
-                .expect("candidates exist");
-            if answer == parts[0].answer {
+            if Self::select_answer(&combined) == parts[0].answer {
                 correct += 1;
             }
         }
-        let mut out = WorkloadOutput::new();
-        out.set("accuracy", correct as f64 / self.config.problems as f64);
-        out.set(
-            "rule_detection_accuracy",
-            rule_hits as f64 / (self.config.problems * components * 5) as f64,
-        );
-        Ok(out)
+        Ok(self.episode_output(correct, rule_hits))
+    }
+
+    /// Batched episodes share one neural forward over every panel of every
+    /// request (see the NVSA twin of this override); the probability-space
+    /// backend then runs per problem on bitwise-identical PMF slices, so
+    /// each output matches the corresponding `run_case` exactly.
+    fn run_batch(&mut self, inputs: &[CaseInput]) -> Vec<Result<WorkloadOutput, WorkloadError>> {
+        if inputs.len() <= 1 || self.prepare().is_err() {
+            return inputs.iter().map(|i| self.run_case(i)).collect();
+        }
+        {
+            let _neural = phase_scope(Phase::Neural);
+            profile::register_storage("prae.perception.weights", self.perception.storage_bytes());
+        }
+        let problems = self.config.problems;
+        let components = self.config.components.max(1);
+        let mut cases: Vec<Vec<Vec<RpmProblem>>> = Vec::with_capacity(inputs.len());
+        let mut panels = Vec::new();
+        for input in inputs {
+            let mut generator = RpmGenerator::new(input.derive_seed(self.config.seed + 7));
+            let case: Vec<Vec<RpmProblem>> = (0..problems)
+                .map(|_| generator.generate_composite(self.config.grid, components))
+                .collect();
+            for parts in &case {
+                for part in parts {
+                    panels.extend_from_slice(part.context());
+                    panels.extend_from_slice(&part.candidates);
+                }
+            }
+            cases.push(case);
+        }
+        let all_pmfs = match self.perception.infer_pmfs_batch(&panels) {
+            Ok(p) => p,
+            // A perception failure would hit every case identically; let
+            // the per-case path surface it per request.
+            Err(_) => return inputs.iter().map(|i| self.run_case(i)).collect(),
+        };
+        let mut cursor = all_pmfs.into_iter();
+        cases
+            .into_iter()
+            .map(|case| {
+                let mut correct = 0usize;
+                let mut rule_hits = 0usize;
+                for parts in &case {
+                    let mut combined = vec![0.0f32; parts[0].candidates.len()];
+                    for part in parts {
+                        let context_pmfs: Vec<_> =
+                            cursor.by_ref().take(part.context().len()).collect();
+                        let candidate_pmfs: Vec<_> =
+                            cursor.by_ref().take(part.candidates.len()).collect();
+                        let (lls, hits) =
+                            self.solve_with_pmfs(part, context_pmfs, candidate_pmfs)?;
+                        for (acc, ll) in combined.iter_mut().zip(&lls) {
+                            *acc += ll;
+                        }
+                        rule_hits += hits;
+                    }
+                    if Self::select_answer(&combined) == parts[0].answer {
+                        correct += 1;
+                    }
+                }
+                Ok(self.episode_output(correct, rule_hits))
+            })
+            .collect()
     }
 }
 
@@ -644,6 +729,41 @@ mod tests {
         // Constant in set space reproduces the previous panel.
         let pred_c = Prae::set_predict(RuleKind::Constant, &row, &row).unwrap();
         assert_eq!(pred_c.data(), b.data());
+    }
+
+    #[test]
+    fn batch_outputs_match_per_case_runs() {
+        let config = PraeConfig {
+            grid: 3,
+            res: 16,
+            mode: PerceptionMode::Neural,
+            problems: 1,
+            components: 1,
+            seed: 33,
+        };
+        let mut batch_instance = Prae::new(config.clone());
+        let mut single_instance = Prae::new(config);
+        let inputs: Vec<CaseInput> = (0..3).map(CaseInput::new).collect();
+        let batched = batch_instance.run_batch(&inputs);
+        for (input, batched) in inputs.iter().zip(&batched) {
+            let single = single_instance.run_case(input).unwrap();
+            let batched = batched.as_ref().unwrap();
+            for ((name, s), (_, b)) in single.metrics().zip(batched.metrics()) {
+                assert_eq!(
+                    s.to_bits(),
+                    b.to_bits(),
+                    "case {} metric {name}",
+                    input.case
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn case_zero_matches_legacy_run() {
+        let mut a = Prae::new(oracle_config(3, 2));
+        let mut b = Prae::new(oracle_config(3, 2));
+        assert_eq!(a.run().unwrap(), b.run_case(&CaseInput::new(0)).unwrap());
     }
 
     #[test]

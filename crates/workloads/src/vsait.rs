@@ -14,7 +14,7 @@
 //! long bipolar hypervectors (element-wise, memory-bound).
 
 use crate::error::WorkloadError;
-use crate::workload::{Workload, WorkloadOutput};
+use crate::workload::{CaseInput, Workload, WorkloadOutput};
 use nsai_core::profile::phase_scope;
 use nsai_core::taxonomy::{NsCategory, Phase};
 use nsai_data::images::{Domain, DomainGenerator};
@@ -128,7 +128,7 @@ impl Workload for Vsait {
     /// Because bipolar binding is exactly invertible, content survives
     /// translation unchanged — the mechanism by which VSAIT suppresses
     /// semantic flipping — and every property below is measurable.
-    fn run(&mut self) -> Result<WorkloadOutput, WorkloadError> {
+    fn run_case(&mut self, input: &CaseInput) -> Result<WorkloadOutput, WorkloadError> {
         // Static storage (Fig. 3b): conv encoder is neural; the LSH
         // projection into hyperspace is symbolic-side.
         {
@@ -143,7 +143,10 @@ impl Workload for Vsait {
                 (self.config.dim * self.feature_dim * 4) as u64,
             );
         }
-        let mut generator = DomainGenerator::new(self.config.res, self.config.seed);
+        // The episode varies which image batches are translated; the
+        // encoder, LSH projection, and domain styles are the fixed model.
+        let mut generator =
+            DomainGenerator::new(self.config.res, input.derive_seed(self.config.seed));
         let source_batch = generator.sample(Domain::Synthetic, self.config.batch);
         let target_batch = generator.sample(Domain::Textured, self.config.batch);
 

@@ -33,11 +33,66 @@ impl WorkloadOutput {
     }
 }
 
+impl serde::Serialize for WorkloadOutput {
+    /// Serialize directly as a `{metric_name: value}` JSON object, so
+    /// serve reports and figure harnesses can embed workload outputs
+    /// without hand-copying maps.
+    fn to_json(&self) -> serde::Value {
+        serde::Value::Object(
+            self.metrics
+                .iter()
+                .map(|(k, v)| (k.clone(), serde::Value::F64(*v)))
+                .collect(),
+        )
+    }
+}
+
+/// Per-request input to a workload: selects which episode a run executes.
+///
+/// A workload's configuration (its `*Config` struct) fixes the *model* —
+/// dimensions, training seeds, codebooks; a `CaseInput` varies the
+/// *query* served against that fixed model. `case = 0` is the canonical
+/// episode: `run_case(&CaseInput::default())` reproduces exactly what the
+/// parameterless [`Workload::run`] always did, bit for bit, so the figure
+/// harnesses and characterization tests are unaffected by the serving
+/// refactor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct CaseInput {
+    /// Episode selector. Deterministic: equal cases yield bitwise-equal
+    /// outputs on identically configured workload instances.
+    pub case: u64,
+}
+
+impl CaseInput {
+    /// Input selecting episode `case`.
+    pub fn new(case: u64) -> Self {
+        CaseInput { case }
+    }
+
+    /// Derive an episode seed from a workload-internal base seed.
+    ///
+    /// Case 0 maps to `base` unchanged (the pre-refactor behavior); other
+    /// cases spread via a golden-ratio multiply so neighboring case ids
+    /// produce unrelated episode streams.
+    pub fn derive_seed(&self, base: u64) -> u64 {
+        base.wrapping_add(self.case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
 /// A runnable neuro-symbolic workload.
 ///
 /// Implementations bracket their neural and symbolic components with
 /// [`nsai_core::profile::phase_scope`] so that a profiler active during
-/// `run` observes the paper's phase partition.
+/// a run observes the paper's phase partition.
+///
+/// # Serving contract
+///
+/// `run_case` must be **deterministic and replica-independent**: given an
+/// identically configured, prepared instance, the same [`CaseInput`]
+/// yields a bitwise-identical [`WorkloadOutput`] — regardless of which
+/// replica executes it, what ran on that replica before, or how requests
+/// were batched. `nsai-serve` relies on this to keep results independent
+/// of worker count and batch composition.
 pub trait Workload: std::fmt::Debug {
     /// Short workload name (paper abbreviation, lowercase).
     fn name(&self) -> &'static str;
@@ -46,9 +101,9 @@ pub trait Workload: std::fmt::Debug {
     fn category(&self) -> NsCategory;
 
     /// One-time setup (model training, codebook generation). Harnesses
-    /// call this *before* activating the profiler so that `run` traces
+    /// call this *before* activating the profiler so that runs trace
     /// inference only, matching the paper's measurement protocol.
-    /// Idempotent; `run` also calls it defensively.
+    /// Idempotent; `run_case` also calls it defensively.
     ///
     /// # Errors
     ///
@@ -57,19 +112,43 @@ pub trait Workload: std::fmt::Debug {
         Ok(())
     }
 
-    /// Execute one end-to-end run.
+    /// Execute one end-to-end inference for the episode `input` selects.
     ///
     /// # Errors
     ///
     /// Returns a [`WorkloadError`] when a substrate operation fails —
     /// which, for a valid configuration, indicates a bug rather than an
     /// input condition.
-    fn run(&mut self) -> Result<WorkloadOutput, WorkloadError>;
+    fn run_case(&mut self, input: &CaseInput) -> Result<WorkloadOutput, WorkloadError>;
+
+    /// Execute the canonical self-contained episode (case 0) — the
+    /// pre-serving entry point used by the characterization harnesses.
+    ///
+    /// # Errors
+    ///
+    /// As [`Workload::run_case`].
+    fn run(&mut self) -> Result<WorkloadOutput, WorkloadError> {
+        self.run_case(&CaseInput::default())
+    }
+
+    /// Execute a coalesced batch of requests, one output per input, in
+    /// order.
+    ///
+    /// The default runs each case independently. Workloads override this
+    /// when a batch admits shared work — e.g. one ConvNet forward over
+    /// every panel in the batch (NVSA, PrAE) or a single theorem-prover
+    /// chase reused across requests (LNN). Overrides must keep each
+    /// output bitwise-identical to the corresponding `run_case` result:
+    /// batching is a scheduling optimization, never a semantic one.
+    fn run_batch(&mut self, inputs: &[CaseInput]) -> Vec<Result<WorkloadOutput, WorkloadError>> {
+        inputs.iter().map(|input| self.run_case(input)).collect()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use serde::Serialize;
 
     #[test]
     fn output_metrics_round_trip() {
@@ -79,5 +158,55 @@ mod tests {
         assert_eq!(out.metric("accuracy"), Some(0.95));
         assert_eq!(out.metric("missing"), None);
         assert_eq!(out.metrics().count(), 1);
+    }
+
+    #[test]
+    fn output_serializes_as_flat_object() {
+        let mut out = WorkloadOutput::new();
+        out.set("accuracy", 0.5);
+        out.set("iterations", 3.0);
+        let v = out.to_json();
+        assert_eq!(v.get("accuracy").and_then(|x| x.as_f64()), Some(0.5));
+        assert_eq!(v.get("iterations").and_then(|x| x.as_f64()), Some(3.0));
+    }
+
+    #[test]
+    fn case_zero_preserves_base_seed() {
+        assert_eq!(CaseInput::default().derive_seed(42), 42);
+        assert_eq!(CaseInput::new(0).derive_seed(7), 7);
+        // Distinct cases give distinct seeds.
+        let seeds: std::collections::HashSet<u64> = (0..100)
+            .map(|c| CaseInput::new(c).derive_seed(42))
+            .collect();
+        assert_eq!(seeds.len(), 100);
+    }
+
+    #[derive(Debug, Default)]
+    struct Echo;
+
+    impl Workload for Echo {
+        fn name(&self) -> &'static str {
+            "echo"
+        }
+        fn category(&self) -> NsCategory {
+            NsCategory::SymbolicNeuro
+        }
+        fn run_case(&mut self, input: &CaseInput) -> Result<WorkloadOutput, WorkloadError> {
+            let mut out = WorkloadOutput::new();
+            out.set("case", input.case as f64);
+            Ok(out)
+        }
+    }
+
+    #[test]
+    fn default_run_is_case_zero_and_batch_maps_cases() {
+        let mut echo = Echo;
+        assert_eq!(echo.run().unwrap().metric("case"), Some(0.0));
+        let inputs: Vec<CaseInput> = (5..8).map(CaseInput::new).collect();
+        let outs = echo.run_batch(&inputs);
+        assert_eq!(outs.len(), 3);
+        for (i, out) in outs.iter().enumerate() {
+            assert_eq!(out.as_ref().unwrap().metric("case"), Some((5 + i) as f64));
+        }
     }
 }

@@ -13,7 +13,7 @@
 //! Symbolic phase: peak extraction and combinatorial graph grounding.
 
 use crate::error::WorkloadError;
-use crate::workload::{Workload, WorkloadOutput};
+use crate::workload::{CaseInput, Workload, WorkloadOutput};
 use nsai_core::profile::{self, phase_scope, OpMeta};
 use nsai_core::taxonomy::{NsCategory, OpCategory, Phase};
 use nsai_data::concepts::{
@@ -338,13 +338,16 @@ impl Workload for ZeroC {
         NsCategory::NeuroBracketSymbolic
     }
 
-    fn run(&mut self) -> Result<WorkloadOutput, WorkloadError> {
+    fn run_case(&mut self, input: &CaseInput) -> Result<WorkloadOutput, WorkloadError> {
         {
             let _neural = phase_scope(Phase::Neural);
             let bytes: u64 = self.templates.iter().map(|(_, _, t)| t.bytes()).sum();
             profile::register_storage("zeroc.templates", bytes);
         }
-        let mut generator = ConceptGenerator::new(self.config.res, self.config.seed);
+        // The episode varies which scenes are drawn for each concept; the
+        // primitive templates are the fixed model.
+        let mut generator =
+            ConceptGenerator::new(self.config.res, input.derive_seed(self.config.seed));
         let catalog = concept_catalog();
         let mut correct = 0usize;
         let mut total = 0usize;

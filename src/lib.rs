@@ -20,6 +20,9 @@
 //! - [`data`] (`nsai-data`) — synthetic dataset generators.
 //! - [`workloads`] (`nsai-workloads`) — LNN, LTN, NVSA, NLM, VSAIT,
 //!   ZeroC, PrAE.
+//! - [`serve`] (`nsai-serve`) — in-process inference serving: dynamic
+//!   micro-batching, bounded-queue backpressure, per-request tracing,
+//!   seeded load generation.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +47,7 @@ pub use nsai_core as core;
 pub use nsai_data as data;
 pub use nsai_logic as logic;
 pub use nsai_nn as nn;
+pub use nsai_serve as serve;
 pub use nsai_simarch as simarch;
 pub use nsai_tensor as tensor;
 pub use nsai_vsa as vsa;

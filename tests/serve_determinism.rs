@@ -1,0 +1,162 @@
+//! Serving-layer determinism regression suite.
+//!
+//! The serving contract extends the bitwise-parity discipline of
+//! `tests/parallel_equivalence.rs` up one layer: episode outputs must
+//! depend only on `(workload config, case id)` — never on worker count,
+//! batch composition, queue timing, or which replica served the
+//! request. These tests drive identical closed-loop load through
+//! servers with different worker counts and batching settings and
+//! require every per-request metric to agree bitwise (`f64::to_bits`).
+
+use neurosym::serve::loadgen::closed_loop;
+use neurosym::serve::{ServeConfig, Server, ShutdownMode};
+use neurosym::workloads::{
+    CaseInput, Lnn, LnnConfig, Nvsa, NvsaConfig, Prae, PraeConfig, Workload,
+};
+use std::collections::BTreeMap;
+
+/// Run one closed-loop sweep and reduce it to a map of
+/// `case id → (metric name → f64 bits)`.
+fn closed_loop_fingerprint(
+    config: ServeConfig,
+    register: &dyn Fn(neurosym::serve::ServerBuilder) -> neurosym::serve::ServerBuilder,
+    workload: &str,
+    clients: usize,
+    per_client: usize,
+) -> BTreeMap<u64, BTreeMap<String, u64>> {
+    let server = register(Server::builder(config)).start().expect("prepare");
+    let records = closed_loop(&server, workload, clients, per_client, 0);
+    server.shutdown(ShutdownMode::Drain);
+    records
+        .into_iter()
+        .map(|record| {
+            let output = record.response.expect("closed loop completes everything");
+            let metrics = output
+                .metrics()
+                .map(|(k, v)| (k.to_string(), v.to_bits()))
+                .collect();
+            (record.case, metrics)
+        })
+        .collect()
+}
+
+fn assert_fingerprints_equal(
+    reference: &BTreeMap<u64, BTreeMap<String, u64>>,
+    other: &BTreeMap<u64, BTreeMap<String, u64>>,
+    what: &str,
+) {
+    assert_eq!(
+        reference.keys().collect::<Vec<_>>(),
+        other.keys().collect::<Vec<_>>(),
+        "{what}: case sets differ"
+    );
+    for (case, expected) in reference {
+        let got = &other[case];
+        assert_eq!(expected, got, "{what}: case {case} outputs differ bitwise");
+    }
+}
+
+#[test]
+fn lnn_outputs_are_identical_across_worker_counts_and_batching() {
+    let register: &dyn Fn(neurosym::serve::ServerBuilder) -> neurosym::serve::ServerBuilder =
+        &|b| b.register("lnn", || Box::new(Lnn::new(LnnConfig::small())));
+    let reference = closed_loop_fingerprint(
+        ServeConfig::default().workers(1).max_batch(1),
+        register,
+        "lnn",
+        2,
+        4,
+    );
+    assert_eq!(reference.len(), 8);
+    for (workers, max_batch) in [(2, 1), (1, 4), (4, 4)] {
+        let other = closed_loop_fingerprint(
+            ServeConfig::default().workers(workers).max_batch(max_batch),
+            register,
+            "lnn",
+            2,
+            4,
+        );
+        assert_fingerprints_equal(
+            &reference,
+            &other,
+            &format!("lnn at workers={workers} max_batch={max_batch}"),
+        );
+    }
+}
+
+#[test]
+fn nvsa_outputs_are_identical_across_worker_counts_and_batching() {
+    let mut config = NvsaConfig::small();
+    config.problems = 1;
+    let register: &dyn Fn(neurosym::serve::ServerBuilder) -> neurosym::serve::ServerBuilder =
+        &move |b| {
+            let config = config.clone();
+            b.register("nvsa", move || Box::new(Nvsa::new(config.clone())))
+        };
+    let reference = closed_loop_fingerprint(
+        ServeConfig::default().workers(1).max_batch(1),
+        register,
+        "nvsa",
+        2,
+        2,
+    );
+    let other = closed_loop_fingerprint(
+        ServeConfig::default().workers(3).max_batch(4),
+        register,
+        "nvsa",
+        2,
+        2,
+    );
+    assert_fingerprints_equal(&reference, &other, "nvsa at workers=3 max_batch=4");
+}
+
+#[test]
+fn prae_outputs_are_identical_across_worker_counts_and_batching() {
+    let mut config = PraeConfig::small();
+    config.problems = 1;
+    let register: &dyn Fn(neurosym::serve::ServerBuilder) -> neurosym::serve::ServerBuilder =
+        &move |b| {
+            let config = config.clone();
+            b.register("prae", move || Box::new(Prae::new(config.clone())))
+        };
+    let reference = closed_loop_fingerprint(
+        ServeConfig::default().workers(1).max_batch(1),
+        register,
+        "prae",
+        2,
+        2,
+    );
+    let other = closed_loop_fingerprint(
+        ServeConfig::default().workers(3).max_batch(4),
+        register,
+        "prae",
+        2,
+        2,
+    );
+    assert_fingerprints_equal(&reference, &other, "prae at workers=3 max_batch=4");
+}
+
+#[test]
+fn served_cases_match_direct_execution_bitwise() {
+    let server = Server::builder(ServeConfig::default().workers(2).max_batch(4))
+        .register("lnn", || Box::new(Lnn::new(LnnConfig::small())))
+        .start()
+        .unwrap();
+    let records = closed_loop(&server, "lnn", 2, 3, 100);
+    server.shutdown(ShutdownMode::Drain);
+
+    let mut direct = Lnn::new(LnnConfig::small());
+    direct.prepare().unwrap();
+    for record in records {
+        let served = record.response.expect("completes");
+        let expected = direct.run_case(&CaseInput::new(record.case)).unwrap();
+        for (key, value) in expected.metrics() {
+            assert_eq!(
+                served.metric(key).map(f64::to_bits),
+                Some(value.to_bits()),
+                "case {} metric {key} must match direct run bitwise",
+                record.case
+            );
+        }
+    }
+}
