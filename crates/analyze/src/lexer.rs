@@ -1,0 +1,404 @@
+//! A line-oriented Rust scanner.
+//!
+//! The rule catalog does not need a full parser: every invariant it
+//! checks is visible at the token level once string/char literal
+//! contents and comments are separated from code. This module performs
+//! exactly that separation, producing one [`Line`] per source line with
+//!
+//! - `code`: the line with comment text removed and literal *contents*
+//!   blanked to spaces (delimiters stay, so `"a { b"` cannot confuse
+//!   the brace tracking),
+//! - `comment`: the concatenated text of any comments on the line
+//!   (line, block, and doc comments), where `SAFETY:` annotations and
+//!   `nsai-lint:` waivers live,
+//! - brace depths at line start/end, used to delimit function bodies
+//!   and `#[cfg(test)]` modules.
+//!
+//! The scanner handles nested block comments, raw strings with hash
+//! fences, byte/char literals, and the lifetime-vs-char-literal
+//! ambiguity (`'a>` vs `'a'`).
+
+/// One scanned source line.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code text: literal contents blanked, comments removed.
+    pub code: String,
+    /// Comment text present on this line (without `//` / `/*` markers).
+    pub comment: String,
+    /// Brace depth in effect at the first character of the line.
+    pub depth_start: usize,
+    /// Brace depth in effect after the last character of the line.
+    pub depth_end: usize,
+    /// Whether the line sits inside a `#[cfg(test)] mod … { … }` block.
+    pub in_test: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Scan `source` into per-line code/comment views.
+pub fn scan(source: &str) -> Vec<Line> {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut state = State::Code;
+    let mut depth: usize = 0;
+
+    for raw in source.lines() {
+        let mut line = Line {
+            depth_start: depth,
+            ..Line::default()
+        };
+        // Block comments and raw strings continue across lines; line
+        // comments, plain strings, and char literals do not survive a
+        // newline in valid Rust (plain strings only via a trailing `\`,
+        // which the blanking below treats as content anyway).
+        if state == State::LineComment || state == State::Str || state == State::Char {
+            state = State::Code;
+        }
+
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                State::Code => match c {
+                    '/' if next == Some('/') => {
+                        line.comment.push_str(&raw_tail(&chars, i + 2));
+                        state = State::LineComment;
+                        i = chars.len();
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        i += 2;
+                    }
+                    '"' => {
+                        line.code.push('"');
+                        state = State::Str;
+                        i += 1;
+                    }
+                    'r' | 'b' => {
+                        // Raw-string starts: r", r#"…, br#"…. Plain byte
+                        // strings (b"…") fall through to the '"' arm on
+                        // the next iteration and use escape handling.
+                        if let Some(hashes) = raw_string_open(&chars, i) {
+                            let prefix = raw_string_prefix_len(&chars, i, hashes);
+                            for _ in 0..prefix {
+                                line.code.push(' ');
+                            }
+                            line.code.push('"');
+                            i += prefix + 1; // prefix + opening quote
+                            state = State::RawStr(hashes);
+                        } else {
+                            line.code.push(c);
+                            i += 1;
+                        }
+                    }
+                    '\'' => {
+                        // Lifetime (`'a`) or char literal (`'a'`, `'\n'`)?
+                        let is_char_literal = match next {
+                            Some('\\') => true,
+                            Some('\'') => false, // `''` is invalid; treat as code
+                            Some(_) => chars.get(i + 2) == Some(&'\''),
+                            None => false,
+                        };
+                        line.code.push('\'');
+                        i += 1;
+                        if is_char_literal {
+                            state = State::Char;
+                        }
+                    }
+                    '{' => {
+                        depth += 1;
+                        line.code.push('{');
+                        i += 1;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        line.code.push('}');
+                        i += 1;
+                    }
+                    _ => {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                },
+                State::LineComment => unreachable!("line comments consume the rest of the line"),
+                State::BlockComment(d) => {
+                    if c == '*' && next == Some('/') {
+                        state = if d == 1 {
+                            State::Code
+                        } else {
+                            State::BlockComment(d - 1)
+                        };
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        state = State::BlockComment(d + 1);
+                        i += 2;
+                    } else {
+                        line.comment.push(c);
+                        i += 1;
+                    }
+                }
+                State::Str => match c {
+                    '\\' => {
+                        line.code.push(' ');
+                        if next.is_some() {
+                            line.code.push(' ');
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    '"' => {
+                        line.code.push('"');
+                        state = State::Code;
+                        i += 1;
+                    }
+                    _ => {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                },
+                State::RawStr(hashes) => {
+                    if c == '"' && closes_raw(&chars, i, hashes) {
+                        line.code.push('"');
+                        i += 1 + hashes as usize;
+                        for _ in 0..hashes {
+                            line.code.push(' ');
+                        }
+                        state = State::Code;
+                    } else {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Char => match c {
+                    '\\' => {
+                        line.code.push(' ');
+                        if next.is_some() {
+                            line.code.push(' ');
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    '\'' => {
+                        line.code.push('\'');
+                        state = State::Code;
+                        i += 1;
+                    }
+                    _ => {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                },
+            }
+        }
+
+        line.depth_end = depth;
+        lines.push(line);
+    }
+
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// Remaining characters of the line from `start`, as a `String`.
+fn raw_tail(chars: &[char], start: usize) -> String {
+    chars[start.min(chars.len())..].iter().collect()
+}
+
+/// If `chars[i..]` opens a raw string (`r"`, `r#"…`, `br#"…`), return
+/// its hash-fence count.
+fn raw_string_open(chars: &[char], i: usize) -> Option<u32> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) != Some(&'"') {
+        return None;
+    }
+    // An identifier ending in r/b followed by a string (`vector"x"` is
+    // not valid Rust, but `stringify!`-adjacent code can get close) must
+    // not be taken for a raw-string prefix.
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return None;
+        }
+    }
+    Some(hashes)
+}
+
+/// Length of the raw-string prefix (`r##` / `br#` / `b` …) *excluding*
+/// the opening quote.
+fn raw_string_prefix_len(chars: &[char], i: usize, hashes: u32) -> usize {
+    let mut len = 0usize;
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        len += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        len += 1;
+    }
+    len + hashes as usize
+}
+
+/// Does the quote at `chars[i]` close a raw string with `hashes` fences?
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Mark lines inside `#[cfg(test)] mod … { … }` blocks, so rules can
+/// exempt test code without a full parse.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut pending_cfg_test = false;
+    let mut region_close_depth: Option<usize> = None;
+
+    for line in lines.iter_mut() {
+        let code = line.code.clone();
+        let compact: String = code.split_whitespace().collect::<Vec<_>>().join("");
+
+        if let Some(close_at) = region_close_depth {
+            line.in_test = true;
+            if line.depth_end <= close_at {
+                region_close_depth = None;
+            }
+            continue;
+        }
+
+        if compact.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+        if pending_cfg_test && word_in(&code, "mod") {
+            if code.contains('{') {
+                line.in_test = true;
+                // The module body closes when depth returns to the depth
+                // the `mod … {` line started at.
+                if line.depth_end > line.depth_start {
+                    region_close_depth = Some(line.depth_start);
+                }
+                pending_cfg_test = false;
+            } else if code.contains(';') {
+                pending_cfg_test = false; // `mod tests;` — out-of-line file
+            }
+        } else if pending_cfg_test && !compact.is_empty() && !compact.starts_with("#[") {
+            // `#[cfg(test)]` attached to a non-module item (fn, use…):
+            // treat just that item's line as test code. Conservative but
+            // enough for attribute-per-item styles.
+            line.in_test = true;
+            pending_cfg_test = false;
+        }
+    }
+}
+
+/// Whether `needle` occurs in `haystack` as a whole word (identifier
+/// boundaries on both sides).
+pub fn word_in(haystack: &str, needle: &str) -> bool {
+    find_word(haystack, needle).is_some()
+}
+
+/// Position of `needle` as a whole word in `haystack`, if any.
+pub fn find_word(haystack: &str, needle: &str) -> Option<usize> {
+    if needle.is_empty() {
+        return None;
+    }
+    let bytes = haystack.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = haystack[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let after = at + needle.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + 1;
+    }
+    None
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_separated() {
+        let lines = scan("let x = \"unsafe { }\"; // SAFETY: not really\n");
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].comment.contains("SAFETY:"));
+        assert_eq!(lines[0].depth_end, 0);
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let src = "a /* one /* two */ still */ b\n/* open\nunsafe {\n*/ c\n";
+        let lines = scan(src);
+        assert!(lines[0].code.contains('a') && lines[0].code.contains('b'));
+        assert!(!lines[2].code.contains("unsafe"));
+        assert!(lines[2].comment.contains("unsafe"));
+        assert!(lines[3].code.contains('c'));
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let lines = scan("let s = r#\"panic!(\"x\") \"# ; call();\n");
+        assert!(!lines[0].code.contains("panic"));
+        assert!(lines[0].code.contains("call()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = scan("fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = '}';\n");
+        assert!(lines[0].code.contains("str"));
+        assert_eq!(lines[0].depth_end, 0);
+        // The `'}'` literal must not close a brace.
+        assert_eq!(lines[1].depth_start, 0);
+        assert_eq!(lines[1].depth_end, 0);
+    }
+
+    #[test]
+    fn escaped_quote_in_char_literal() {
+        let lines = scan("let q = '\\''; let b = '{';\nx");
+        assert_eq!(lines[1].depth_start, 0);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_marked() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let lines = scan(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(word_in("foo unsafe bar", "unsafe"));
+        assert!(!word_in("foo_unsafe bar", "unsafe"));
+        assert!(!word_in("unsafety", "unsafe"));
+    }
+}

@@ -1,0 +1,97 @@
+//! # nsai-analyze
+//!
+//! An offline, dependency-free static analyzer for this workspace. It
+//! machine-checks the invariants the paper's methodology relies on —
+//! profiler attribution, bitwise determinism, and race/deadlock freedom
+//! of the parallel and serving stacks — which the rest of the repo
+//! otherwise enforces only by convention:
+//!
+//! - every `unsafe` site is audited (`unsafe-audit`),
+//! - all parallelism flows through the instrumented pool
+//!   (`pool-only-parallelism`),
+//! - kernels and workloads are clock- and hash-order-free
+//!   (`determinism`),
+//! - public kernels report operator events (`scope-coverage`),
+//! - the serving hot path cannot panic (`panic-hygiene`).
+//!
+//! Configuration lives in the checked-in `lint.toml` at the workspace
+//! root; individual sites are waived inline with
+//! `// nsai-lint: allow(<rule>): <justification>`.
+//!
+//! Run it as `cargo run -p nsai-analyze -- --deny-warnings` (what CI's
+//! `lint` job does), or use [`analyze_path`] / [`rules::analyze`]
+//! programmatically (the fixture tests do).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{Config, ConfigError, Severity};
+pub use rules::{Finding, RULES};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Collect every `.rs` file under `root` that the config does not
+/// exclude, returning workspace-relative `/`-separated paths with file
+/// contents, sorted by path for deterministic reports.
+pub fn collect_sources(root: &Path, config: &Config) -> io::Result<Vec<(String, String)>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let rel = relative(root, &path);
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name.starts_with('.')
+                    || config.exclude_dirs.iter().any(|d| d.as_str() == name)
+                    || config.exclude.contains(&rel)
+                {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs")
+                && !config.exclude.iter().any(|p| rel.starts_with(p.as_str()))
+            {
+                let source = fs::read_to_string(&path)?;
+                files.push((rel, source));
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Load `lint.toml` from `root` (defaults apply when absent), walk the
+/// tree, and run the whole rule catalog.
+pub fn analyze_path(root: &Path) -> io::Result<Vec<Finding>> {
+    let config = load_config(root).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let files = collect_sources(root, &config)?;
+    Ok(rules::analyze(&files, &config))
+}
+
+/// Parse `<root>/lint.toml`, falling back to [`Config::default`] when
+/// the file does not exist.
+pub fn load_config(root: &Path) -> Result<Config, ConfigError> {
+    let path = root.join("lint.toml");
+    match fs::read_to_string(&path) {
+        Ok(source) => Config::parse(&source),
+        Err(_) => Ok(Config::default()),
+    }
+}
+
+/// Workspace-relative `/`-separated form of `path`.
+fn relative(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,105 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! nsai-analyze [--root <dir>] [--config <lint.toml>] [--deny-warnings] [--quiet]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings at deny severity (or any finding
+//! under `--deny-warnings`), `2` usage or configuration error.
+
+use nsai_analyze::{collect_sources, rules, Config, Severity};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    deny_warnings: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        deny_warnings: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config needs a path")?));
+            }
+            "--deny-warnings" => args.deny_warnings = true,
+            "--quiet" | "-q" => args.quiet = true,
+            "--help" | "-h" => {
+                return Err("usage: nsai-analyze [--root <dir>] [--config <lint.toml>] \
+                            [--deny-warnings] [--quiet]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument {other:?} (see --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let config = match &args.config {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| format!("{}: {e}", path.display()))
+            .and_then(|src| Config::parse(&src).map_err(|e| e.to_string())),
+        None => nsai_analyze::load_config(&args.root).map_err(|e| e.to_string()),
+    };
+    let config = match config {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let files = match collect_sources(&args.root, &config) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("error: walking {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = rules::analyze(&files, &config);
+    let denied = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Deny)
+        .count();
+    let warned = findings.len() - denied;
+
+    if !args.quiet {
+        for finding in &findings {
+            println!("{finding}");
+        }
+    }
+    if !args.quiet || !findings.is_empty() {
+        eprintln!(
+            "nsai-analyze: {} files, {denied} error(s), {warned} warning(s)",
+            files.len()
+        );
+    }
+
+    if denied > 0 || (args.deny_warnings && warned > 0) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

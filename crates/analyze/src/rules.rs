@@ -1,0 +1,693 @@
+//! The rule catalog.
+//!
+//! Each rule enforces one invariant the characterization methodology
+//! depends on (see CONTRIBUTING.md for the full catalog and rationale):
+//!
+//! | rule                    | invariant                                          |
+//! |-------------------------|----------------------------------------------------|
+//! | `unsafe-audit`          | every `unsafe` site carries a `SAFETY:` comment    |
+//! | `pool-only-parallelism` | threads come from `nsai_tensor::par` / serve pool  |
+//! | `determinism`           | no wall clocks or hash-order iteration in kernels  |
+//! | `scope-coverage`        | public kernels report to the profiler              |
+//! | `panic-hygiene`         | no `unwrap`/`panic!` on the serving hot path       |
+//!
+//! Any rule can be waived inline with
+//! `// nsai-lint: allow(<rule>): <justification>` — the justification is
+//! mandatory; a bare waiver is itself a finding.
+
+use crate::config::{Config, RuleConfig, Severity};
+use crate::lexer::{self, Line};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule name (as used in `lint.toml` and waivers).
+    pub rule: String,
+    /// Effective severity after config.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} [{}] {}",
+            self.path, self.line, self.severity, self.rule, self.message
+        )
+    }
+}
+
+/// All rule names, in report order.
+pub const RULES: &[&str] = &[
+    "unsafe-audit",
+    "pool-only-parallelism",
+    "determinism",
+    "scope-coverage",
+    "panic-hygiene",
+];
+
+/// Analyze a set of scanned files. `files` holds workspace-relative
+/// paths (always `/`-separated) and raw contents; cross-file rules
+/// (`scope-coverage` delegation) see the whole set at once.
+pub fn analyze(files: &[(String, String)], config: &Config) -> Vec<Finding> {
+    let scanned: Vec<(String, Vec<Line>, Waivers)> = files
+        .iter()
+        .map(|(path, source)| {
+            let lines = lexer::scan(source);
+            let waivers = Waivers::collect(path, &lines);
+            (path.clone(), lines, waivers)
+        })
+        .collect();
+
+    let mut findings = Vec::new();
+    for (path, lines, waivers) in &scanned {
+        findings.extend(waivers.malformed.clone());
+        check_unsafe_audit(path, lines, waivers, config, &mut findings);
+        check_pool_only(path, lines, waivers, config, &mut findings);
+        check_determinism(path, lines, waivers, config, &mut findings);
+        check_panic_hygiene(path, lines, waivers, config, &mut findings);
+    }
+    check_scope_coverage(&scanned, config, &mut findings);
+
+    findings.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    findings
+}
+
+/// Inline waivers for one file: rule names keyed by the (0-based) line
+/// they cover. A waiver covers its own line and, when it sits on a
+/// comment-only line, the next line that has code on it.
+struct Waivers {
+    by_line: BTreeMap<usize, BTreeSet<String>>,
+    malformed: Vec<Finding>,
+}
+
+impl Waivers {
+    fn collect(path: &str, lines: &[Line]) -> Waivers {
+        let mut by_line: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
+        let mut malformed = Vec::new();
+
+        for (idx, line) in lines.iter().enumerate() {
+            // Doc comments (`///`, `//!`, `/**`) never carry waivers —
+            // they are where the waiver syntax gets *described*.
+            let trimmed = line.comment.trim_start();
+            if trimmed.starts_with('/') || trimmed.starts_with('!') || trimmed.starts_with('*') {
+                continue;
+            }
+            let Some(at) = line.comment.find("nsai-lint:") else {
+                continue;
+            };
+            let directive = line.comment[at + "nsai-lint:".len()..].trim();
+            match parse_waiver(directive) {
+                Ok(rules) => {
+                    let mut targets = vec![idx];
+                    if line.code.trim().is_empty() {
+                        // Comment-only line: also cover the next code line.
+                        if let Some(next) = lines[idx + 1..]
+                            .iter()
+                            .position(|l| !l.code.trim().is_empty())
+                        {
+                            targets.push(idx + 1 + next);
+                        }
+                    }
+                    for t in targets {
+                        by_line.entry(t).or_default().extend(rules.iter().cloned());
+                    }
+                }
+                Err(message) => malformed.push(Finding {
+                    path: path.to_string(),
+                    line: idx + 1,
+                    rule: "waiver-syntax".into(),
+                    severity: Severity::Deny,
+                    message,
+                }),
+            }
+        }
+        Waivers { by_line, malformed }
+    }
+
+    fn waived(&self, idx: usize, rule: &str) -> bool {
+        self.by_line
+            .get(&idx)
+            .is_some_and(|rules| rules.contains(rule))
+    }
+}
+
+/// Parse `allow(rule[, rule…]): justification`. The justification is
+/// mandatory — a waiver that does not say *why* is a finding.
+fn parse_waiver(directive: &str) -> Result<Vec<String>, String> {
+    let inner = directive
+        .strip_prefix("allow(")
+        .ok_or_else(|| format!("expected `allow(<rule>): <justification>`, got {directive:?}"))?;
+    let close = inner
+        .find(')')
+        .ok_or_else(|| "unterminated `allow(` in waiver".to_string())?;
+    let rules: Vec<String> = inner[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("waiver names no rule".to_string());
+    }
+    for rule in &rules {
+        if !RULES.contains(&rule.as_str()) {
+            return Err(format!("waiver names unknown rule {rule:?}"));
+        }
+    }
+    let rest = inner[close + 1..].trim();
+    let justification = rest.strip_prefix(':').map(str::trim).unwrap_or("");
+    if justification.is_empty() {
+        return Err(format!(
+            "waiver for {} is missing its justification (`allow(rule): why`)",
+            rules.join(", ")
+        ));
+    }
+    Ok(rules)
+}
+
+/// Does `rule` apply to `path` at all (severity, paths, allowlist)?
+fn applies(rule: &RuleConfig, path: &str) -> bool {
+    if rule.severity == Severity::Allow {
+        return false;
+    }
+    if !rule.paths.is_empty() && !rule.paths.iter().any(|p| path.starts_with(p.as_str())) {
+        return false;
+    }
+    !rule
+        .allow_paths
+        .iter()
+        .any(|p| path.starts_with(p.as_str()))
+}
+
+fn push(
+    findings: &mut Vec<Finding>,
+    path: &str,
+    idx: usize,
+    rule: &str,
+    severity: Severity,
+    message: String,
+) {
+    findings.push(Finding {
+        path: path.to_string(),
+        line: idx + 1,
+        rule: rule.to_string(),
+        severity,
+        message,
+    });
+}
+
+// ---------------------------------------------------------------- rules
+
+/// `unsafe-audit`: every `unsafe` keyword in code must be justified by a
+/// `SAFETY:` comment — trailing on the same line, or in the contiguous
+/// comment/attribute block directly above (a `/// # Safety` doc section
+/// also counts, for `unsafe fn` declarations). Consecutive `unsafe`
+/// lines with no other code between them share one comment, so paired
+/// `unsafe impl Send/Sync` blocks need a single justification.
+fn check_unsafe_audit(
+    path: &str,
+    lines: &[Line],
+    waivers: &Waivers,
+    config: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    let rule = config.rule("unsafe-audit");
+    if !applies(&rule, path) {
+        return;
+    }
+    let mut covered: Vec<bool> = vec![false; lines.len()];
+    for idx in 0..lines.len() {
+        if !lexer::word_in(&lines[idx].code, "unsafe") || lines[idx].in_test {
+            continue;
+        }
+        if waivers.waived(idx, "unsafe-audit") {
+            covered[idx] = true;
+            continue;
+        }
+        if has_safety(&lines[idx].comment) {
+            covered[idx] = true;
+            continue;
+        }
+        // Walk the contiguous comment/attribute block above; chain
+        // through directly-preceding `unsafe` lines that are covered.
+        let mut j = idx;
+        let mut ok = false;
+        while j > 0 {
+            j -= 1;
+            let above = &lines[j];
+            let code = above.code.trim();
+            if code.is_empty() && above.comment.trim().is_empty() {
+                break; // blank line ends the block
+            }
+            if code.is_empty() || code.starts_with("#[") {
+                if has_safety(&above.comment) {
+                    ok = true;
+                    break;
+                }
+                continue;
+            }
+            if lexer::word_in(&above.code, "unsafe") {
+                ok = covered[j];
+            }
+            break;
+        }
+        covered[idx] = ok;
+        if !ok {
+            push(
+                findings,
+                path,
+                idx,
+                "unsafe-audit",
+                rule.severity,
+                "`unsafe` without a `// SAFETY:` comment explaining why the invariants hold"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn has_safety(comment: &str) -> bool {
+    comment.contains("SAFETY:") || comment.contains("# Safety")
+}
+
+/// `pool-only-parallelism`: raw thread creation is reserved for the
+/// `nsai_tensor::par` pool and the serve worker pool (allowlisted in
+/// `lint.toml`). Anywhere else it would bypass `NEUROSYM_THREADS` and
+/// lose profiler scope propagation.
+fn check_pool_only(
+    path: &str,
+    lines: &[Line],
+    waivers: &Waivers,
+    config: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    let rule = config.rule("pool-only-parallelism");
+    if !applies(&rule, path) {
+        return;
+    }
+    const TOKENS: &[&str] = &["thread::spawn", "thread::Builder", "thread::scope"];
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test || waivers.waived(idx, "pool-only-parallelism") {
+            continue;
+        }
+        for token in TOKENS {
+            if contains_path_token(&line.code, token) {
+                push(
+                    findings,
+                    path,
+                    idx,
+                    "pool-only-parallelism",
+                    rule.severity,
+                    format!(
+                        "`{token}` outside the sanctioned pools — use \
+                         `nsai_tensor::par` so NEUROSYM_THREADS and profiler \
+                         scope propagation stay sound"
+                    ),
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// `determinism`: measurement and workload paths must not read wall
+/// clocks or iterate hash tables — both make runs non-reproducible.
+/// Timing modules that legitimately need clocks (the profiler itself,
+/// the serving runtime, load generators) are allowlisted in `lint.toml`;
+/// clock reads that only feed profiler metadata carry inline waivers.
+fn check_determinism(
+    path: &str,
+    lines: &[Line],
+    waivers: &Waivers,
+    config: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    let rule = config.rule("determinism");
+    if !applies(&rule, path) {
+        return;
+    }
+    const CLOCKS: &[&str] = &["Instant::now", "SystemTime"];
+    const HASH_ORDER: &[&str] = &["HashMap", "HashSet"];
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test || waivers.waived(idx, "determinism") {
+            continue;
+        }
+        for token in CLOCKS {
+            if contains_path_token(&line.code, token) {
+                push(
+                    findings,
+                    path,
+                    idx,
+                    "determinism",
+                    rule.severity,
+                    format!(
+                        "`{token}` in a measurement/workload path — wall clocks \
+                         make runs non-reproducible; allowlist the module in \
+                         lint.toml or waive the site if it only feeds profiler \
+                         metadata"
+                    ),
+                );
+                break;
+            }
+        }
+        for token in HASH_ORDER {
+            if lexer::word_in(&line.code, token) {
+                push(
+                    findings,
+                    path,
+                    idx,
+                    "determinism",
+                    rule.severity,
+                    format!(
+                        "`{token}` iteration order is nondeterministic — use \
+                         BTreeMap/BTreeSet, or waive if the map is provably \
+                         never iterated"
+                    ),
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// `panic-hygiene`: no `unwrap`/`expect`/`panic!` in the serving hot
+/// path (admission → dispatch → reply), so panic-containment rebuilds
+/// stay reserved for *workload* panics. Applies only under the `paths`
+/// configured in `lint.toml`.
+fn check_panic_hygiene(
+    path: &str,
+    lines: &[Line],
+    waivers: &Waivers,
+    config: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    let rule = config.rule("panic-hygiene");
+    if !applies(&rule, path) {
+        return;
+    }
+    if rule.paths.is_empty() {
+        return; // opt-in rule: without configured paths it checks nothing
+    }
+    const TOKENS: &[&str] = &[
+        ".unwrap()",
+        ".expect(",
+        "panic!",
+        "unreachable!",
+        "todo!",
+        "unimplemented!",
+    ];
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test || waivers.waived(idx, "panic-hygiene") {
+            continue;
+        }
+        for token in TOKENS {
+            if line.code.contains(token) {
+                push(
+                    findings,
+                    path,
+                    idx,
+                    "panic-hygiene",
+                    rule.severity,
+                    format!(
+                        "`{}` on the serving hot path — return a typed error \
+                         (ServeError/SubmitError) instead",
+                        token.trim_start_matches('.')
+                    ),
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// `scope-coverage`: every `pub fn` in the configured kernel paths must
+/// open a profiler scope or taxonomy event — directly (`run_op`,
+/// `time_op`, `profile::record`, …) or by delegating to another public
+/// kernel that does (computed as a fixed point over the file set).
+fn check_scope_coverage(
+    scanned: &[(String, Vec<Line>, Waivers)],
+    config: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    let rule = config.rule("scope-coverage");
+    if rule.severity == Severity::Allow || rule.paths.is_empty() {
+        return;
+    }
+    const INSTRUMENT: &[&str] = &[
+        "run_op",
+        "time_op",
+        "time_op_with",
+        "profile::record",
+        "phase_scope",
+        "Scope::capture",
+    ];
+
+    struct KernelFn {
+        file: usize,
+        decl_idx: usize,
+        name: String,
+        body: String,
+        covered: bool,
+        waived: bool,
+        /// Only `pub fn`s are *reported*; private helpers still
+        /// participate in delegation (a pub kernel may wrap a private
+        /// instrumented one).
+        is_pub: bool,
+    }
+
+    let mut fns: Vec<KernelFn> = Vec::new();
+    for (file_idx, (path, lines, waivers)) in scanned.iter().enumerate() {
+        if !applies(&rule, path) {
+            continue;
+        }
+        for (idx, line) in lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            let Some((name, is_pub)) = fn_decl(&line.code) else {
+                continue;
+            };
+            let Some(body) = fn_body(lines, idx) else {
+                continue; // trait signature or unparsable body — skip
+            };
+            let covered = INSTRUMENT.iter().any(|t| body.contains(t));
+            fns.push(KernelFn {
+                file: file_idx,
+                decl_idx: idx,
+                name,
+                body,
+                covered,
+                waived: waivers.waived(idx, "scope-coverage"),
+                is_pub,
+            });
+        }
+    }
+
+    // Fixed point: a fn delegating to a covered fn is covered.
+    loop {
+        let covered_names: BTreeSet<String> = fns
+            .iter()
+            .filter(|f| f.covered)
+            .map(|f| f.name.clone())
+            .collect();
+        let mut changed = false;
+        for f in fns.iter_mut() {
+            if f.covered {
+                continue;
+            }
+            if covered_names.iter().any(|n| lexer::word_in(&f.body, n)) {
+                f.covered = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    for f in &fns {
+        if f.is_pub && !f.covered && !f.waived {
+            let (path, _, _) = &scanned[f.file];
+            push(
+                findings,
+                path,
+                f.decl_idx,
+                "scope-coverage",
+                rule.severity,
+                format!(
+                    "public kernel entry point `{}` never reports to the \
+                     profiler (no run_op/time_op/phase_scope, and no \
+                     delegation to an instrumented kernel)",
+                    f.name
+                ),
+            );
+        }
+    }
+}
+
+/// Extract `(name, is_pub)` from a `fn` declaration line. `pub(crate)`
+/// and private fns report `is_pub = false`; they are tracked only so
+/// delegation through them counts as coverage.
+fn fn_decl(code: &str) -> Option<(String, bool)> {
+    let fn_at = lexer::find_word(code, "fn")?;
+    let before = &code[..fn_at];
+    // Only qualifiers may precede `fn` on a declaration line (this also
+    // rejects mentions like `Fn(usize)` and higher-order params).
+    let mut is_pub = false;
+    for word in before.split_whitespace() {
+        match word {
+            "pub" => is_pub = true,
+            w if w.starts_with("pub(") => is_pub = false, // crate-visible only
+            "const" | "unsafe" | "extern" | "async" | "\"C\"" => {}
+            _ => return None,
+        }
+    }
+    let after = code[fn_at + 2..].trim_start();
+    let name: String = after
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some((name, is_pub))
+}
+
+/// The body text of the fn declared at `decl_idx`: from its opening
+/// brace to the line where depth returns to the declaration's level.
+/// Returns `None` for bodyless declarations (trait signatures).
+fn fn_body(lines: &[Line], decl_idx: usize) -> Option<String> {
+    let sig_depth = lines[decl_idx].depth_start;
+    let mut idx = decl_idx;
+    // Find the line that opens the body (may be past a multi-line
+    // signature). A `;` at signature depth first means no body.
+    loop {
+        let line = lines.get(idx)?;
+        if line.depth_end > sig_depth {
+            break;
+        }
+        if line.code.contains(';') && line.depth_end == sig_depth {
+            return None;
+        }
+        idx += 1;
+    }
+    let mut body = String::new();
+    for line in &lines[idx..] {
+        body.push_str(&line.code);
+        body.push('\n');
+        if line.depth_end <= sig_depth {
+            break;
+        }
+    }
+    Some(body)
+}
+
+/// Match a `::`-path token such as `thread::spawn` or `Instant::now`,
+/// requiring an identifier boundary before the first segment (so
+/// `mythread::spawn` does not match, `std::thread::spawn` does).
+fn contains_path_token(code: &str, token: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = code[from..].find(token) {
+        let at = from + pos;
+        let before_ok = at == 0 || {
+            let b = bytes[at - 1];
+            !(b == b'_' || b.is_ascii_alphanumeric())
+        };
+        if before_ok {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str, toml: &str) -> Vec<Finding> {
+        let config = Config::parse(toml).expect("config");
+        analyze(&[(path.to_string(), src.to_string())], &config)
+    }
+
+    #[test]
+    fn undocumented_unsafe_is_flagged_and_safety_accepted() {
+        let bad = "fn f() {\n    let x = unsafe { y() };\n}\n";
+        let findings = run("a.rs", bad, "");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "unsafe-audit");
+        assert_eq!(findings[0].line, 2);
+
+        let good =
+            "fn f() {\n    // SAFETY: y upholds its contract.\n    let x = unsafe { y() };\n}\n";
+        assert!(run("a.rs", good, "").is_empty());
+    }
+
+    #[test]
+    fn consecutive_unsafe_lines_share_one_safety_comment() {
+        let src = "// SAFETY: T is Send, access is disjoint.\nunsafe impl<T: Send> Sync for W<T> {}\nunsafe impl<T: Send> Send for W<T> {}\n";
+        assert!(run("a.rs", src, "").is_empty());
+    }
+
+    #[test]
+    fn waiver_with_justification_suppresses_waiver_without_fails() {
+        let src = "// nsai-lint: allow(determinism): clock feeds profiler metadata only.\nlet t = Instant::now();\n";
+        assert!(run("a.rs", src, "").is_empty());
+
+        let bare = "// nsai-lint: allow(determinism)\nlet t = Instant::now();\n";
+        let findings = run("a.rs", bare, "");
+        assert!(findings.iter().any(|f| f.rule == "waiver-syntax"));
+    }
+
+    #[test]
+    fn thread_spawn_flagged_unless_allowlisted() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        let findings = run("crates/x/src/lib.rs", src, "");
+        assert_eq!(findings[0].rule, "pool-only-parallelism");
+
+        let toml = "[rules.pool-only-parallelism]\nallow = [\"crates/x\"]\n";
+        assert!(run("crates/x/src/lib.rs", src, toml).is_empty());
+    }
+
+    #[test]
+    fn panic_hygiene_only_applies_to_configured_paths() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert!(run("crates/serve/src/server.rs", src, "").is_empty());
+
+        let toml = "[rules.panic-hygiene]\npaths = [\"crates/serve/src\"]\n";
+        let findings = run("crates/serve/src/server.rs", src, toml);
+        assert_eq!(findings[0].rule, "panic-hygiene");
+        assert!(run("crates/other/src/lib.rs", src, toml).is_empty());
+    }
+
+    #[test]
+    fn scope_coverage_accepts_direct_and_delegated_instrumentation() {
+        let toml = "[rules.scope-coverage]\npaths = [\"crates/tensor/src/ops\"]\n";
+        let src = "impl T {\n    pub fn base(&self) -> u32 {\n        run_op(\"x\", || 1)\n    }\n    pub fn wrapper(&self) -> u32 {\n        self.base()\n    }\n    pub fn bare(&self) -> u32 {\n        41\n    }\n}\n";
+        let findings = run("crates/tensor/src/ops/x.rs", src, toml);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("`bare`"));
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); let i = Instant::now(); std::thread::spawn(|| {}); }\n}\n";
+        let toml = "[rules.panic-hygiene]\npaths = [\"crates\"]\n";
+        assert!(run("crates/x/src/lib.rs", src, toml).is_empty());
+    }
+
+    #[test]
+    fn severity_warn_and_allow_respected() {
+        let src = "let m: HashMap<u32, u32> = HashMap::new();\n";
+        let toml = "[rules.determinism]\nseverity = \"warn\"\n";
+        let findings = run("a.rs", src, toml);
+        assert_eq!(findings[0].severity, Severity::Warn);
+        let toml = "[rules.determinism]\nseverity = \"allow\"\n";
+        assert!(run("a.rs", src, toml).is_empty());
+    }
+}

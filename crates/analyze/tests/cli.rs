@@ -1,0 +1,89 @@
+//! Exit-code contract of the `nsai-analyze` binary: 0 on a clean tree,
+//! 1 when deny findings (or warnings under `--deny-warnings`) exist,
+//! 2 on usage/config errors. CI keys off these codes.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+struct TempTree(PathBuf);
+
+impl TempTree {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("nsai-analyze-cli-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("src")).expect("create temp tree");
+        TempTree(dir)
+    }
+
+    fn write(&self, rel: &str, content: &str) -> &Self {
+        fs::write(self.0.join(rel), content).expect("write fixture");
+        self
+    }
+}
+
+impl Drop for TempTree {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn analyze(tree: &TempTree, extra: &[&str]) -> (i32, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_nsai-analyze"))
+        .arg("--root")
+        .arg(&tree.0)
+        .args(extra)
+        .output()
+        .expect("run nsai-analyze");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    (output.status.code().unwrap_or(-1), text)
+}
+
+#[test]
+fn clean_tree_exits_zero() {
+    let tree = TempTree::new("clean");
+    tree.write("src/lib.rs", "pub fn f() -> u32 {\n    1\n}\n");
+    let (code, out) = analyze(&tree, &[]);
+    assert_eq!(code, 0, "{out}");
+}
+
+#[test]
+fn seeded_violation_exits_one_and_names_the_site() {
+    let tree = TempTree::new("violation");
+    tree.write(
+        "src/lib.rs",
+        "pub fn f(p: *mut u8) {\n    unsafe { *p = 0 };\n}\n",
+    );
+    let (code, out) = analyze(&tree, &[]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("src/lib.rs:2"), "{out}");
+    assert!(out.contains("unsafe-audit"), "{out}");
+}
+
+#[test]
+fn warnings_gate_only_under_deny_warnings() {
+    let tree = TempTree::new("warnings");
+    tree.write("lint.toml", "[rules.determinism]\nseverity = \"warn\"\n")
+        .write(
+            "src/lib.rs",
+            "pub fn f() {\n    let _t = std::time::Instant::now();\n}\n",
+        );
+    let (code, out) = analyze(&tree, &[]);
+    assert_eq!(code, 0, "{out}");
+    let (code, out) = analyze(&tree, &["--deny-warnings"]);
+    assert_eq!(code, 1, "{out}");
+}
+
+#[test]
+fn config_errors_exit_two() {
+    let tree = TempTree::new("config");
+    tree.write("lint.toml", "[rules.determinism]\nseverity = \"fatal\"\n")
+        .write("src/lib.rs", "pub fn f() {}\n");
+    let (code, out) = analyze(&tree, &[]);
+    assert_eq!(code, 2, "{out}");
+}

@@ -1,0 +1,277 @@
+//! Per-rule fixture tests: every rule gets a positive case (the seeded
+//! violation is reported), a negative case (idiomatic clean code stays
+//! silent), and a waiver case (an inline `nsai-lint: allow` with a
+//! justification suppresses the finding).
+
+use nsai_analyze::config::Config;
+use nsai_analyze::rules::{self, Finding};
+use nsai_analyze::Severity;
+
+fn run(config: &Config, files: &[(&str, &str)]) -> Vec<Finding> {
+    let files: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    rules::analyze(&files, config)
+}
+
+fn rule_names(findings: &[Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.rule.as_str()).collect()
+}
+
+// ------------------------------------------------------------ unsafe-audit
+
+#[test]
+fn unsafe_without_safety_comment_is_reported() {
+    let src = "pub fn f(p: *mut u8) {\n    unsafe { *p = 0 };\n}\n";
+    let findings = run(&Config::default(), &[("src/a.rs", src)]);
+    assert_eq!(rule_names(&findings), vec!["unsafe-audit"]);
+    assert_eq!(findings[0].line, 2);
+    assert_eq!(findings[0].severity, Severity::Deny);
+}
+
+#[test]
+fn safety_comment_above_or_trailing_satisfies_the_audit() {
+    let above = "pub fn f(p: *mut u8) {\n    // SAFETY: p is valid per the contract.\n    unsafe { *p = 0 };\n}\n";
+    let trailing = "pub fn f(p: *mut u8) {\n    unsafe { *p = 0 }; // SAFETY: p is valid.\n}\n";
+    let doc_section =
+        "/// # Safety\n///\n/// Caller guarantees `p` is valid.\npub unsafe fn f(p: *mut u8) {}\n";
+    for src in [above, trailing, doc_section] {
+        let findings = run(&Config::default(), &[("src/a.rs", src)]);
+        assert!(findings.is_empty(), "unexpected: {findings:?}");
+    }
+}
+
+#[test]
+fn consecutive_unsafe_impls_share_one_safety_comment() {
+    let src = "// SAFETY: interior pointer is never aliased across threads.\n\
+               unsafe impl Send for X {}\n\
+               unsafe impl Sync for X {}\n";
+    let findings = run(&Config::default(), &[("src/a.rs", src)]);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn unsafe_in_strings_and_comments_is_ignored() {
+    let src =
+        "pub fn f() -> &'static str {\n    // unsafe is just a word here\n    \"unsafe { }\"\n}\n";
+    let findings = run(&Config::default(), &[("src/a.rs", src)]);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn waiver_with_justification_suppresses_unsafe_audit() {
+    let src = "pub fn f(p: *mut u8) {\n    // nsai-lint: allow(unsafe-audit): audited in the module docs.\n    unsafe { *p = 0 };\n}\n";
+    let findings = run(&Config::default(), &[("src/a.rs", src)]);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn waiver_without_justification_is_itself_a_finding() {
+    let src = "pub fn f(p: *mut u8) {\n    // nsai-lint: allow(unsafe-audit)\n    unsafe { *p = 0 };\n}\n";
+    let findings = run(&Config::default(), &[("src/a.rs", src)]);
+    let names = rule_names(&findings);
+    assert!(names.contains(&"waiver-syntax"), "got {names:?}");
+    // The malformed waiver does not suppress the underlying finding.
+    assert!(names.contains(&"unsafe-audit"), "got {names:?}");
+}
+
+#[test]
+fn waiver_naming_an_unknown_rule_is_rejected() {
+    let src = "// nsai-lint: allow(made-up-rule): because.\nfn f() {}\n";
+    let findings = run(&Config::default(), &[("src/a.rs", src)]);
+    assert_eq!(rule_names(&findings), vec!["waiver-syntax"]);
+}
+
+// -------------------------------------------------- pool-only-parallelism
+
+#[test]
+fn raw_thread_spawn_is_reported_outside_the_pool() {
+    let src = "pub fn f() {\n    std::thread::spawn(|| {});\n}\n";
+    let findings = run(&Config::default(), &[("src/a.rs", src)]);
+    assert_eq!(rule_names(&findings), vec!["pool-only-parallelism"]);
+}
+
+#[test]
+fn allowlisted_pool_module_may_spawn() {
+    let config = Config::parse("[rules.pool-only-parallelism]\nallow = [\"src/pool.rs\"]\n")
+        .expect("config");
+    let src = "pub fn f() {\n    std::thread::Builder::new();\n}\n";
+    assert!(run(&config, &[("src/pool.rs", src)]).is_empty());
+    assert_eq!(
+        rule_names(&run(&config, &[("src/other.rs", src)])),
+        vec!["pool-only-parallelism"]
+    );
+}
+
+#[test]
+fn thread_spawn_in_test_code_is_fine() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        std::thread::spawn(|| {});\n    }\n}\n";
+    assert!(run(&Config::default(), &[("src/a.rs", src)]).is_empty());
+}
+
+// ------------------------------------------------------------ determinism
+
+#[test]
+fn wall_clocks_and_hash_maps_are_reported() {
+    let src = "use std::collections::HashMap;\n\
+               pub fn f() {\n\
+                   let _t = std::time::Instant::now();\n\
+                   let _m: HashMap<u32, u32> = HashMap::new();\n\
+               }\n";
+    let findings = run(&Config::default(), &[("src/a.rs", src)]);
+    assert_eq!(rule_names(&findings), vec!["determinism"; 3]);
+}
+
+#[test]
+fn btree_collections_are_deterministic_and_clean() {
+    let src = "use std::collections::BTreeMap;\npub fn f() -> BTreeMap<u32, u32> {\n    BTreeMap::new()\n}\n";
+    assert!(run(&Config::default(), &[("src/a.rs", src)]).is_empty());
+}
+
+#[test]
+fn timing_modules_are_allowlisted_for_clocks() {
+    let config =
+        Config::parse("[rules.determinism]\nallow = [\"src/loadgen.rs\"]\n").expect("config");
+    let src = "pub fn f() {\n    let _t = std::time::Instant::now();\n}\n";
+    assert!(run(&config, &[("src/loadgen.rs", src)]).is_empty());
+}
+
+#[test]
+fn determinism_waiver_covers_profiler_metadata_reads() {
+    let src = "pub fn f() {\n    // nsai-lint: allow(determinism): only feeds the profiler duration.\n    let _t = std::time::Instant::now();\n}\n";
+    assert!(run(&Config::default(), &[("src/a.rs", src)]).is_empty());
+}
+
+#[test]
+fn severity_warn_downgrades_findings() {
+    let config = Config::parse("[rules.determinism]\nseverity = \"warn\"\n").expect("config");
+    let src = "pub fn f() {\n    let _t = std::time::Instant::now();\n}\n";
+    let findings = run(&config, &[("src/a.rs", src)]);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].severity, Severity::Warn);
+}
+
+#[test]
+fn severity_allow_disables_a_rule() {
+    let config = Config::parse("[rules.determinism]\nseverity = \"allow\"\n").expect("config");
+    let src = "pub fn f() {\n    let _t = std::time::Instant::now();\n}\n";
+    assert!(run(&config, &[("src/a.rs", src)]).is_empty());
+}
+
+// --------------------------------------------------------- scope-coverage
+
+fn kernel_config() -> Config {
+    Config::parse("[rules.scope-coverage]\npaths = [\"kernels/\"]\n").expect("config")
+}
+
+#[test]
+fn uninstrumented_pub_kernel_is_reported() {
+    let src = "pub fn gemm(a: &[f32]) -> f32 {\n    a.iter().sum()\n}\n";
+    let findings = run(&kernel_config(), &[("kernels/ops.rs", src)]);
+    assert_eq!(rule_names(&findings), vec!["scope-coverage"]);
+    assert!(
+        findings[0].message.contains("gemm"),
+        "{}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn directly_instrumented_kernel_is_covered() {
+    let src = "pub fn gemm(a: &[f32]) -> f32 {\n    run_op(\"gemm\", OpCategory::Gemm, || a.iter().sum(), |_| OpMeta::new())\n}\n";
+    assert!(run(&kernel_config(), &[("kernels/ops.rs", src)]).is_empty());
+}
+
+#[test]
+fn delegation_to_a_private_instrumented_helper_counts() {
+    let src = "pub fn gemm(a: &[f32]) -> f32 {\n\
+                   gemm_inner(a)\n\
+               }\n\
+               fn gemm_inner(a: &[f32]) -> f32 {\n\
+                   run_op(\"gemm\", OpCategory::Gemm, || a.iter().sum(), |_| OpMeta::new())\n\
+               }\n";
+    assert!(run(&kernel_config(), &[("kernels/ops.rs", src)]).is_empty());
+}
+
+#[test]
+fn delegation_is_a_fixed_point_across_files() {
+    let outer = "pub fn conv(a: &[f32]) -> f32 {\n    helper(a)\n}\n";
+    let inner = "pub fn helper(a: &[f32]) -> f32 {\n    time_op(\"conv\", || a.iter().sum())\n}\n";
+    assert!(run(
+        &kernel_config(),
+        &[("kernels/conv.rs", outer), ("kernels/helper.rs", inner)]
+    )
+    .is_empty());
+}
+
+#[test]
+fn kernels_outside_configured_paths_are_not_checked() {
+    let src = "pub fn util(a: &[f32]) -> f32 {\n    a.iter().sum()\n}\n";
+    assert!(run(&kernel_config(), &[("src/util.rs", src)]).is_empty());
+}
+
+#[test]
+fn scope_coverage_waiver_handles_metadata_accessors() {
+    let src = "// nsai-lint: allow(scope-coverage): metadata accessor, no kernel work.\npub fn op_name() -> &'static str {\n    \"gemm\"\n}\n";
+    assert!(run(&kernel_config(), &[("kernels/ops.rs", src)]).is_empty());
+}
+
+// ---------------------------------------------------------- panic-hygiene
+
+fn hot_path_config() -> Config {
+    Config::parse("[rules.panic-hygiene]\npaths = [\"hot/\"]\n").expect("config")
+}
+
+#[test]
+fn unwrap_on_the_hot_path_is_reported() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    let findings = run(&hot_path_config(), &[("hot/server.rs", src)]);
+    assert_eq!(rule_names(&findings), vec!["panic-hygiene"]);
+}
+
+#[test]
+fn panic_macros_on_the_hot_path_are_reported() {
+    let src = "pub fn f() {\n    unreachable!(\"cannot happen\")\n}\n";
+    let findings = run(&hot_path_config(), &[("hot/server.rs", src)]);
+    assert_eq!(rule_names(&findings), vec!["panic-hygiene"]);
+}
+
+#[test]
+fn panic_hygiene_is_opt_in_by_path() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    // Outside the configured paths: silent.
+    assert!(run(&hot_path_config(), &[("src/cold.rs", src)]).is_empty());
+    // Without any configured paths the rule checks nothing at all.
+    assert!(run(&Config::default(), &[("hot/server.rs", src)]).is_empty());
+}
+
+#[test]
+fn hot_path_unwrap_in_tests_is_fine() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        Some(1).unwrap();\n    }\n}\n";
+    assert!(run(&hot_path_config(), &[("hot/server.rs", src)]).is_empty());
+}
+
+#[test]
+fn hot_path_waiver_requires_justification_and_works() {
+    let src = "pub fn shutdown(h: std::thread::JoinHandle<()>) {\n    // nsai-lint: allow(panic-hygiene): shutdown is not the request path.\n    h.join().unwrap();\n}\n";
+    assert!(run(&hot_path_config(), &[("hot/server.rs", src)]).is_empty());
+}
+
+// -------------------------------------------------------------- reporting
+
+#[test]
+fn findings_are_sorted_and_display_like_rustc() {
+    let src_b = "pub fn f() {\n    let _t = std::time::Instant::now();\n}\n";
+    let src_a = "pub fn g(p: *mut u8) {\n    unsafe { *p = 0 };\n}\n";
+    let findings = run(
+        &Config::default(),
+        &[("src/b.rs", src_b), ("src/a.rs", src_a)],
+    );
+    assert_eq!(findings.len(), 2);
+    assert_eq!(findings[0].path, "src/a.rs");
+    assert_eq!(
+        findings[1].to_string(),
+        format!("src/b.rs:2: deny [determinism] {}", findings[1].message)
+    );
+}

@@ -1,0 +1,36 @@
+//! The workspace must satisfy its own rule catalog: this is the same
+//! check CI's `lint` job runs (`cargo run -p nsai-analyze -- \
+//! --deny-warnings`), wired into `cargo test` so a violation fails the
+//! suite even without the CI wrapper.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = nsai_analyze::analyze_path(&root).expect("walk the workspace");
+    assert!(
+        findings.is_empty(),
+        "workspace lint findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn checked_in_lint_toml_parses_and_covers_known_rules_only() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let config = nsai_analyze::load_config(&root).expect("lint.toml parses");
+    for rule in config.rules.keys() {
+        assert!(
+            nsai_analyze::RULES.contains(&rule.as_str()),
+            "lint.toml configures unknown rule {rule:?}"
+        );
+    }
+    // The walk must skip the vendored shims — they wrap std::sync and
+    // would otherwise trip pool/determinism rules by design.
+    assert!(config.exclude.iter().any(|p| p == "crates/vendor"));
+}

@@ -146,6 +146,7 @@ impl KnowledgeBase {
     pub fn forward_chain(&self, max_iterations: usize) -> BTreeSet<Atom> {
         let mut facts = self.facts.clone();
         for _ in 0..max_iterations {
+            // nsai-lint: allow(determinism): wall clock only feeds the profiler event's duration, never the computation.
             let start = Instant::now();
             let mut new_facts: Vec<Atom> = Vec::new();
             let mut unifications: u64 = 0;
@@ -207,6 +208,7 @@ impl KnowledgeBase {
     /// Returns [`LogicError::DepthLimit`] when the proof search exceeds
     /// `max_depth` without resolving.
     pub fn backward_chain(&self, goal: &Atom, max_depth: usize) -> Result<bool, LogicError> {
+        // nsai-lint: allow(determinism): wall clock only feeds the profiler event's duration, never the computation.
         let start = Instant::now();
         let mut probes: u64 = 0;
         let result = self.prove(goal, max_depth, &mut probes);

@@ -62,4 +62,4 @@ mod server;
 pub use config::ServeConfig;
 pub use metrics::{MetricsSnapshot, ServerMetrics};
 pub use request::{ServeError, Ticket};
-pub use server::{Server, ServerBuilder, ShutdownMode, SubmitError};
+pub use server::{Server, ServerBuilder, ShutdownMode, StartError, SubmitError};

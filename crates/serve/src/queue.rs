@@ -126,7 +126,12 @@ impl BoundedQueue {
             let mut i = 0;
             while batch.len() < max_batch && i < state.items.len() {
                 if state.items[i].workload == workload {
-                    let request = state.items.remove(i).expect("index in bounds");
+                    // `i` is bounds-checked by the loop condition, so
+                    // `remove` cannot return `None`; the `else` arm keeps
+                    // the hot path panic-free regardless.
+                    let Some(request) = state.items.remove(i) else {
+                        break;
+                    };
                     batch.push(request);
                     self.not_full.notify_one();
                 } else {

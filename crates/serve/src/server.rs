@@ -36,6 +36,39 @@ impl fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Why [`ServerBuilder::start`] failed before serving anything.
+#[derive(Debug)]
+pub enum StartError {
+    /// A workload replica failed to [`prepare`](Workload::prepare).
+    Workload(WorkloadError),
+    /// The OS refused to spawn a worker thread.
+    Spawn(std::io::Error),
+}
+
+impl fmt::Display for StartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StartError::Workload(e) => write!(f, "replica preparation failed: {e}"),
+            StartError::Spawn(e) => write!(f, "failed to spawn serve worker: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StartError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StartError::Workload(e) => Some(e),
+            StartError::Spawn(e) => Some(e),
+        }
+    }
+}
+
+impl From<WorkloadError> for StartError {
+    fn from(e: WorkloadError) -> Self {
+        StartError::Workload(e)
+    }
+}
+
 /// How [`Server::shutdown`] treats work that is already admitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShutdownMode {
@@ -99,7 +132,12 @@ impl ServerBuilder {
     /// start the worker threads. Preparation happens on the calling
     /// thread so configuration errors surface here rather than as
     /// failed requests.
-    pub fn start(self) -> Result<Server, WorkloadError> {
+    ///
+    /// # Errors
+    ///
+    /// [`StartError::Workload`] when a replica fails to prepare,
+    /// [`StartError::Spawn`] when a worker thread cannot be created.
+    pub fn start(self) -> Result<Server, StartError> {
         let ServerBuilder {
             config,
             registrations,
@@ -123,17 +161,24 @@ impl ServerBuilder {
             replica_sets.push(replicas);
         }
 
-        let workers = replica_sets
-            .into_iter()
-            .enumerate()
-            .map(|(id, replicas)| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("nsai-serve-{id}"))
-                    .spawn(move || worker_loop(&shared, replicas))
-                    .expect("spawn serve worker")
-            })
-            .collect();
+        let mut workers = Vec::with_capacity(config.workers);
+        for (id, replicas) in replica_sets.into_iter().enumerate() {
+            let shared_worker = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("nsai-serve-{id}"))
+                .spawn(move || worker_loop(&shared_worker, replicas));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // Unblock the workers that did start before bailing.
+                    shared.queue.close(false);
+                    for worker in workers {
+                        let _ = worker.join();
+                    }
+                    return Err(StartError::Spawn(e));
+                }
+            }
+        }
 
         Ok(Server {
             shared,
@@ -277,6 +322,7 @@ impl Server {
         for worker in workers {
             // A worker that panicked outside `catch_unwind` (a bug, not
             // a workload panic) surfaces here rather than hanging.
+            // nsai-lint: allow(panic-hygiene): shutdown is not the request path; a worker dying outside its catch_unwind is a server bug that must surface loudly.
             worker.join().expect("serve worker exited cleanly");
         }
     }

@@ -36,10 +36,19 @@
 //! caller's active profiler and phase. Events recorded on workers are
 //! buffered per worker and merged into the shared trace in one lock
 //! acquisition per job.
+//!
+//! # Sanitizing
+//!
+//! With `NEUROSYM_SANITIZE=1` (see [`sanitize`]) every `UnsafeSlice`
+//! records the ranges chunks claim and panics on the first overlap, so
+//! a broken decomposition fails a test deterministically instead of
+//! racing. The vendored `parking_lot` shim honours the same variable
+//! with a lock-order-cycle (deadlock) detector.
 
 use nsai_core::profile::Scope;
 use parking_lot::{Condvar, Mutex};
 use std::cell::Cell;
+use std::collections::BTreeMap;
 use std::marker::PhantomData;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -182,13 +191,15 @@ fn worker_loop(inner: Arc<Inner>) {
 fn run_pooled(width: usize, n_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
     let inner = pool();
     let next = AtomicUsize::new(0);
-    // SAFETY: the lifetimes of `task` and `next` are erased to 'static so
-    // they can sit in the shared job slot. The `Finish` guard below keeps
-    // this frame alive until `running == 0`, i.e. until no worker can
-    // still dereference them — including when a chunk panics.
+    // SAFETY: `task`'s lifetime is erased to 'static so it can sit in the
+    // shared job slot. The `Finish` guard below keeps this frame alive
+    // until `running == 0`, i.e. until no worker can still dereference it
+    // — including when a chunk panics.
     let task_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
-    let next_static: &'static AtomicUsize =
-        unsafe { std::mem::transmute::<&AtomicUsize, &'static AtomicUsize>(&next) };
+    // SAFETY: same erasure and same guarantee for the chunk counter —
+    // `next` outlives every worker that can observe it because the
+    // `Finish` guard blocks this frame until the job fully drains.
+    let next_static: &'static AtomicUsize = unsafe { std::mem::transmute(&next) };
     let scope = Scope::capture();
     {
         let mut slot = inner.slot.lock();
@@ -286,16 +297,72 @@ pub fn chunk_range(len: usize, grain: usize, chunk: usize) -> Range<usize> {
     start..len.min(start + grain)
 }
 
+/// Runtime sanitizer switch for the parallel engine.
+///
+/// With `NEUROSYM_SANITIZE=1` in the environment (read once), every
+/// `UnsafeSlice` tracks the ranges chunks claim and panics on the
+/// first overlap — turning a silent data race (and a silently corrupted
+/// characterization figure) into a deterministic test failure. The CI
+/// test matrix runs one debug pass with the sanitizer on.
+pub mod sanitize {
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    const UNSET: u8 = 0;
+    const OFF: u8 = 1;
+    const ON: u8 = 2;
+
+    static MODE: AtomicU8 = AtomicU8::new(UNSET);
+
+    /// Whether overlap checking is active. Resolved from
+    /// `NEUROSYM_SANITIZE` on first call unless [`force`]d.
+    pub fn enabled() -> bool {
+        match MODE.load(Ordering::Relaxed) {
+            ON => true,
+            OFF => false,
+            _ => {
+                let on = std::env::var("NEUROSYM_SANITIZE")
+                    .map(|v| {
+                        let v = v.trim();
+                        v == "1" || v.eq_ignore_ascii_case("true")
+                    })
+                    .unwrap_or(false);
+                MODE.store(if on { ON } else { OFF }, Ordering::Relaxed);
+                on
+            }
+        }
+    }
+
+    /// Override the sanitizer switch (primarily for tests that seed a
+    /// deliberate violation); `None` re-reads the environment on the
+    /// next [`enabled`] call. Process-global.
+    pub fn force(on: Option<bool>) {
+        let mode = match on {
+            Some(true) => ON,
+            Some(false) => OFF,
+            None => UNSET,
+        };
+        MODE.store(mode, Ordering::Relaxed);
+    }
+}
+
 /// A shared view of a mutable slice that concurrent chunks write at
 /// provably-disjoint positions.
+///
+/// Under [`sanitize`] mode every access is recorded in an interval set
+/// scoped to this view's lifetime (one parallel job), and the first
+/// overlapping claim panics with both ranges — the proof obligation of
+/// the `unsafe` accessors, machine-checked.
 pub(crate) struct UnsafeSlice<'a, T> {
     ptr: *mut T,
     len: usize,
+    /// `Some` only in sanitize mode: claimed intervals, `start → end`.
+    claims: Option<Mutex<BTreeMap<usize, usize>>>,
     _marker: PhantomData<&'a mut [T]>,
 }
 
 // SAFETY: access is coordinated by the chunk decomposition — callers
-// uphold disjointness via the `unsafe` accessors below.
+// uphold disjointness via the `unsafe` accessors below (`claims` is
+// its own Mutex-protected island and adds no sharing hazard).
 unsafe impl<T: Send> Sync for UnsafeSlice<'_, T> {}
 unsafe impl<T: Send> Send for UnsafeSlice<'_, T> {}
 
@@ -304,8 +371,49 @@ impl<'a, T> UnsafeSlice<'a, T> {
         UnsafeSlice {
             ptr: slice.as_mut_ptr(),
             len: slice.len(),
+            claims: sanitize::enabled().then(|| Mutex::new(BTreeMap::new())),
             _marker: PhantomData,
         }
+    }
+
+    /// Sanitize-mode bookkeeping: record `[start, end)` as claimed and
+    /// panic if it intersects any prior claim on this view.
+    fn claim(&self, start: usize, end: usize) {
+        let Some(claims) = &self.claims else { return };
+        if start >= end {
+            return;
+        }
+        let mut claims = claims.lock();
+        let conflict = claims
+            .range(..=start)
+            .next_back()
+            .filter(|&(_, &e)| e > start)
+            .or_else(|| claims.range(start..).next().filter(|&(&s, _)| s < end));
+        if let Some((&s, &e)) = conflict {
+            drop(claims);
+            panic!(
+                "sanitizer: overlapping UnsafeSlice access — [{start}, {end}) \
+                 intersects previously claimed [{s}, {e}); parallel chunks \
+                 must touch disjoint regions"
+            );
+        }
+        // Coalesce with exactly-adjacent neighbours so element-at-a-time
+        // writers (e.g. im2col scatter) keep the map at one entry per
+        // contiguous run instead of one per element. Merging abutting
+        // claims loses nothing: a later claim overlapping either original
+        // still intersects the merged interval.
+        let mut start = start;
+        let mut end = end;
+        if let Some((&s, &e)) = claims.range(..start).next_back() {
+            if e == start {
+                claims.remove(&s);
+                start = s;
+            }
+        }
+        if let Some(e) = claims.remove(&end) {
+            end = e;
+        }
+        claims.insert(start, end);
     }
 
     /// Mutable access to `range`.
@@ -316,6 +424,7 @@ impl<'a, T> UnsafeSlice<'a, T> {
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn range_mut(&self, range: Range<usize>) -> &mut [T] {
         debug_assert!(range.start <= range.end && range.end <= self.len);
+        self.claim(range.start, range.end);
         std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.len())
     }
 
@@ -326,6 +435,7 @@ impl<'a, T> UnsafeSlice<'a, T> {
     /// Each index must be written by at most one concurrent caller.
     pub unsafe fn write(&self, index: usize, value: T) {
         debug_assert!(index < self.len);
+        self.claim(index, index + 1);
         *self.ptr.add(index) = value;
     }
 }
@@ -452,6 +562,73 @@ mod tests {
                 });
             }
         });
+    }
+
+    /// RAII: force the sanitizer on, restore env-derived mode on drop
+    /// (even when the test's deliberate violation panics).
+    struct Sanitized;
+    impl Sanitized {
+        fn on() -> Self {
+            sanitize::force(Some(true));
+            Sanitized
+        }
+    }
+    impl Drop for Sanitized {
+        fn drop(&mut self) {
+            sanitize::force(None);
+        }
+    }
+
+    #[test]
+    fn sanitizer_catches_overlapping_range_claims() {
+        let _mode = Sanitized::on();
+        let result = std::panic::catch_unwind(|| {
+            let mut out = vec![0u32; 64];
+            let slice = UnsafeSlice::new(&mut out);
+            // SAFETY: serial calls — and the second claim overlapping the
+            // first is exactly what this test wants the sanitizer to see.
+            unsafe {
+                slice.range_mut(0..16)[0] = 1;
+                slice.range_mut(8..24)[0] = 2;
+            }
+        });
+        let message = *result
+            .expect_err("overlap must panic")
+            .downcast::<String>()
+            .expect("panic message");
+        assert!(
+            message.contains("overlapping UnsafeSlice access"),
+            "{message}"
+        );
+    }
+
+    #[test]
+    fn sanitizer_catches_double_write_to_one_index() {
+        let _mode = Sanitized::on();
+        let result = std::panic::catch_unwind(|| {
+            let mut out = vec![0u32; 8];
+            let slice = UnsafeSlice::new(&mut out);
+            // SAFETY: serial calls; the duplicate index is the seeded bug.
+            unsafe {
+                slice.write(3, 1);
+                slice.write(3, 2);
+            }
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn sanitizer_passes_disjoint_parallel_fills() {
+        let _mode = Sanitized::on();
+        let mut out = vec![0u64; 500];
+        with_threads(4, || {
+            fill_chunks(&mut out, 7, |range, dst| {
+                for (i, v) in range.zip(dst.iter_mut()) {
+                    *v = i as u64 + 1;
+                }
+            });
+        });
+        assert!(out.iter().enumerate().all(|(i, v)| *v == i as u64 + 1));
     }
 
     #[test]

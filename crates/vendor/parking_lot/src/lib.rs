@@ -7,48 +7,93 @@
 //! over `std::sync`; a poisoned std lock (a thread panicked while holding
 //! it) is recovered into its inner state, matching `parking_lot`'s
 //! "no poisoning" semantics.
+//!
+//! # Sanitizing
+//!
+//! With `NEUROSYM_SANITIZE=1` the shim additionally runs a **lock-order
+//! cycle detector** (see [`deadlock`]): every blocking acquisition records
+//! a "held → acquiring" edge in a global order graph, and an acquisition
+//! that would close a cycle — the classic AB/BA inversion — panics at the
+//! acquisition site instead of deadlocking at some later unlucky
+//! interleaving. Detection is *order-based*, so a single sequential run
+//! that merely exercises both orders is enough to catch the bug; no actual
+//! deadlock needs to occur. The detector is off by default and costs one
+//! relaxed atomic load per acquisition when disabled.
 
 use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::AtomicUsize;
 use std::sync::{self, TryLockError};
 use std::time::Duration;
 
+pub mod deadlock;
+
 /// A mutual-exclusion lock with `parking_lot`-style non-poisoning `lock()`.
 #[derive(Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    /// Lazily assigned sanitizer identity (0 = not yet assigned), kept
+    /// outside the lock so `new` stays `const`.
+    id: AtomicUsize,
+    inner: sync::Mutex<T>,
+}
 
 /// RAII guard returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+pub struct MutexGuard<'a, T: ?Sized> {
+    /// `None` only transiently inside [`Condvar`] waits, which consume the
+    /// std guard by value and put the reacquired one back.
+    inner: Option<sync::MutexGuard<'a, T>>,
+    /// Sanitizer identity of the owning lock; 0 when tracking is off.
+    id: usize,
+}
 
 impl<T> Mutex<T> {
     /// Create a new mutex holding `value`.
     pub const fn new(value: T) -> Self {
-        Mutex(sync::Mutex::new(value))
+        Mutex {
+            id: AtomicUsize::new(0),
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until available. Never poisons.
+    ///
+    /// Under `NEUROSYM_SANITIZE=1` the acquisition is checked against the
+    /// global lock-order graph first and panics if it would establish an
+    /// order cycle with locks currently held by this thread.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner())
+        let id = deadlock::on_acquire(&self.id);
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+            id,
+        }
     }
 
     /// Try to acquire the lock without blocking.
+    ///
+    /// A failed `try_lock` cannot block this thread, so it neither checks
+    /// nor records lock order; the returned guard is untracked.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
-            Err(TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        Some(MutexGuard {
+            inner: Some(inner),
+            id: 0,
+        })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -61,42 +106,137 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
     }
 }
 
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard holds its lock")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("guard holds its lock")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        deadlock::on_release(self.id);
+    }
+}
+
 /// A reader-writer lock with non-poisoning `read()` / `write()`.
 #[derive(Default)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    id: AtomicUsize,
+    inner: sync::RwLock<T>,
+}
 
 /// RAII guard returned by [`RwLock::read`].
-pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+    id: usize,
+}
+
 /// RAII guard returned by [`RwLock::write`].
-pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+    id: usize,
+}
 
 impl<T> RwLock<T> {
     /// Create a new lock holding `value`.
     pub const fn new(value: T) -> Self {
-        RwLock(sync::RwLock::new(value))
+        RwLock {
+            id: AtomicUsize::new(0),
+            inner: sync::RwLock::new(value),
+        }
     }
 
     /// Consume the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
-    /// Acquire a shared read guard.
+    /// Acquire a shared read guard. Participates in lock-order checking
+    /// like an exclusive acquisition — a read side of an AB/BA inversion
+    /// can still deadlock against a queued writer.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(|e| e.into_inner())
+        let id = deadlock::on_acquire(&self.id);
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+            id,
+        }
     }
 
     /// Acquire an exclusive write guard.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(|e| e.into_inner())
+        let id = deadlock::on_acquire(&self.id);
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+            id,
+        }
     }
 }
 
 impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("RwLock(..)")
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        deadlock::on_release(self.id);
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        deadlock::on_release(self.id);
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
     }
 }
 
@@ -113,22 +253,25 @@ impl Condvar {
 
     /// Block until notified, releasing the guard while parked.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
-        replace_guard(guard, |g| self.0.wait(g).unwrap_or_else(|e| e.into_inner()));
+        let taken = guard.inner.take().expect("guard holds its lock");
+        deadlock::on_release(guard.id);
+        let reacquired = self.0.wait(taken).unwrap_or_else(|e| e.into_inner());
+        deadlock::on_reacquire(guard.id);
+        guard.inner = Some(reacquired);
     }
 
     /// Block until notified or `timeout` elapses. Returns `true` if the
     /// wait timed out.
     pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
-        let mut timed_out = false;
-        replace_guard(guard, |g| {
-            let (g, result) = self
-                .0
-                .wait_timeout(g, timeout)
-                .unwrap_or_else(|e| e.into_inner());
-            timed_out = result.timed_out();
-            g
-        });
-        timed_out
+        let taken = guard.inner.take().expect("guard holds its lock");
+        deadlock::on_release(guard.id);
+        let (reacquired, result) = self
+            .0
+            .wait_timeout(taken, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        deadlock::on_reacquire(guard.id);
+        guard.inner = Some(reacquired);
+        result.timed_out()
     }
 
     /// Wake one parked thread.
@@ -139,22 +282,6 @@ impl Condvar {
     /// Wake all parked threads.
     pub fn notify_all(&self) {
         self.0.notify_all();
-    }
-}
-
-/// Run `f` on the guard by value (std's condvar API consumes guards, the
-/// parking_lot API mutates them in place).
-fn replace_guard<'a, T: ?Sized>(
-    guard: &mut MutexGuard<'a, T>,
-    f: impl FnOnce(MutexGuard<'a, T>) -> MutexGuard<'a, T>,
-) {
-    // SAFETY: `taken` is moved out and a replacement guard for the same
-    // mutex is written back before this function returns; the transient
-    // duplicate is never observed because `guard` is exclusively borrowed.
-    unsafe {
-        let taken = std::ptr::read(guard);
-        let next = f(taken);
-        std::ptr::write(guard, next);
     }
 }
 

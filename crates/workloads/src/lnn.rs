@@ -21,7 +21,7 @@ use nsai_logic::bounds::TruthBounds;
 use nsai_logic::kb::{KnowledgeBase, Rule};
 use nsai_logic::term::{Atom, Term};
 use nsai_tensor::Tensor;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// A neuron in the compiled graph.
@@ -75,7 +75,7 @@ pub struct Lnn {
     weights: Vec<(f32, f32, f32)>,
     roots: Vec<usize>,
     observations: Vec<(usize, f64)>,
-    leaf_of_prop: HashMap<usize, usize>,
+    leaf_of_prop: BTreeMap<usize, usize>,
 }
 
 impl Lnn {
@@ -88,7 +88,7 @@ impl Lnn {
             config.seed,
         );
         let mut neurons = Vec::new();
-        let mut leaf_of_prop: HashMap<usize, usize> = HashMap::new();
+        let mut leaf_of_prop: BTreeMap<usize, usize> = BTreeMap::new();
         let mut roots = Vec::new();
         for formula in &theory.formulas {
             let root = compile(formula, &mut neurons, &mut leaf_of_prop);
@@ -224,6 +224,7 @@ impl Lnn {
     /// Downward pass: assert each formula root true and tighten children.
     /// Returns (contradictions, visited-node count).
     fn downward_pass(&self, lower: &mut Tensor, upper: &mut Tensor) -> (usize, u64) {
+        // nsai-lint: allow(determinism): wall clock only feeds the profiler event's duration, never the computation.
         let start = Instant::now();
         let mut contradictions = 0usize;
         let mut visited = 0u64;
@@ -424,7 +425,7 @@ impl Lnn {
 fn compile(
     formula: &FormulaTree,
     neurons: &mut Vec<Neuron>,
-    leaf_of_prop: &mut HashMap<usize, usize>,
+    leaf_of_prop: &mut BTreeMap<usize, usize>,
 ) -> usize {
     match formula {
         FormulaTree::Leaf(p) => *leaf_of_prop.entry(*p).or_insert_with(|| {
@@ -533,7 +534,7 @@ mod tests {
     fn upward_pass_computes_lukasiewicz_and() {
         // Single formula: And(p0, p1) with p0=1, p1=1.
         let mut neurons = Vec::new();
-        let mut leaves = HashMap::new();
+        let mut leaves = BTreeMap::new();
         let tree = FormulaTree::And(
             Box::new(FormulaTree::Leaf(0)),
             Box::new(FormulaTree::Leaf(1)),
@@ -563,7 +564,7 @@ mod tests {
         // w_right lowered, the neuron tolerates the weak input — LNN's
         // "resilience to incomplete knowledge".
         let mut neurons = Vec::new();
-        let mut leaves = HashMap::new();
+        let mut leaves = BTreeMap::new();
         let tree = FormulaTree::And(
             Box::new(FormulaTree::Leaf(0)),
             Box::new(FormulaTree::Leaf(1)),

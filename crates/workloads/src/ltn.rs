@@ -111,6 +111,7 @@ impl Ltn {
     /// Returns the aggregate satisfaction in `[0, 1]`.
     fn axiom_satisfaction(&self, truths: &[Tensor]) -> Result<f64, WorkloadError> {
         let _sym = phase_scope(Phase::Symbolic);
+        // nsai-lint: allow(determinism): wall clock only feeds the profiler event's duration, never the computation.
         let start = Instant::now();
         let p = self.config.p;
         let mut sats: Vec<f64> = Vec::new();

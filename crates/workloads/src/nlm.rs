@@ -367,6 +367,12 @@ mod tests {
         let report = profiler.report_for("nlm");
         let transform = report.cell(Phase::Symbolic, OpCategory::DataTransform);
         assert!(transform.invocations > 0, "no symbolic transforms recorded");
+        // The runtime sanitizers (NEUROSYM_SANITIZE=1) add bookkeeping to
+        // the parallel neural kernels, skewing wall-clock phase ratios;
+        // the invocation assertion above stays load-bearing either way.
+        if nsai_tensor::par::sanitize::enabled() {
+            return;
+        }
         assert!(report.phase_fraction(Phase::Neural) > 0.1);
         assert!(report.phase_fraction(Phase::Symbolic) > 0.1);
     }

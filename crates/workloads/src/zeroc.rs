@@ -145,6 +145,7 @@ impl ZeroC {
         max_per_primitive: usize,
     ) -> Vec<Detection> {
         let _sym = phase_scope(Phase::Symbolic);
+        // nsai-lint: allow(determinism): wall clock only feeds the profiler event's duration, never the computation.
         let start = std::time::Instant::now();
         let mut scanned: u64 = 0;
         let mut by_primitive: Vec<(Primitive, Vec<Detection>)> =
@@ -235,6 +236,7 @@ impl ZeroC {
     /// combinatorial search).
     fn ground(&self, concept: &ConceptGraph, detections: &[Detection]) -> f32 {
         let _sym = phase_scope(Phase::Symbolic);
+        // nsai-lint: allow(determinism): wall clock only feeds the profiler event's duration, never the computation.
         let start = std::time::Instant::now();
         let n = concept.nodes.len();
         let mut best = f32::NEG_INFINITY;
