@@ -41,6 +41,10 @@ pub struct RuleConfig {
     pub allow_paths: Vec<String>,
     /// If non-empty, the rule applies *only* under these path prefixes.
     pub paths: Vec<String>,
+    /// Rule-specific registry of known names (used by
+    /// `failpoint-hygiene`: the failpoint sites registered for the
+    /// workspace).
+    pub sites: Vec<String>,
 }
 
 impl Default for RuleConfig {
@@ -49,6 +53,7 @@ impl Default for RuleConfig {
             severity: Severity::Deny,
             allow_paths: Vec::new(),
             paths: Vec::new(),
+            sites: Vec::new(),
         }
     }
 }
@@ -190,6 +195,7 @@ fn apply(
                 }
                 "allow" => entry.allow_paths = parse_string_array(value, lineno)?,
                 "paths" => entry.paths = parse_string_array(value, lineno)?,
+                "sites" => entry.sites = parse_string_array(value, lineno)?,
                 _ => {
                     return Err(ConfigError {
                         line: lineno,

@@ -10,6 +10,7 @@
 //! | `determinism`           | no wall clocks or hash-order iteration in kernels  |
 //! | `scope-coverage`        | public kernels report to the profiler              |
 //! | `panic-hygiene`         | no `unwrap`/`panic!` on the serving hot path       |
+//! | `failpoint-hygiene`     | failpoint sites are registered in `lint.toml`      |
 //!
 //! Any rule can be waived inline with
 //! `// nsai-lint: allow(<rule>): <justification>` — the justification is
@@ -51,6 +52,7 @@ pub const RULES: &[&str] = &[
     "determinism",
     "scope-coverage",
     "panic-hygiene",
+    "failpoint-hygiene",
 ];
 
 /// Analyze a set of scanned files. `files` holds workspace-relative
@@ -67,14 +69,25 @@ pub fn analyze(files: &[(String, String)], config: &Config) -> Vec<Finding> {
         .collect();
 
     let mut findings = Vec::new();
-    for (path, lines, waivers) in &scanned {
+    let mut seen_sites: BTreeSet<String> = BTreeSet::new();
+    for ((path, lines, waivers), (_, source)) in scanned.iter().zip(files) {
         findings.extend(waivers.malformed.clone());
         check_unsafe_audit(path, lines, waivers, config, &mut findings);
         check_pool_only(path, lines, waivers, config, &mut findings);
         check_determinism(path, lines, waivers, config, &mut findings);
         check_panic_hygiene(path, lines, waivers, config, &mut findings);
+        check_failpoint_hygiene(
+            path,
+            lines,
+            source,
+            waivers,
+            config,
+            &mut findings,
+            &mut seen_sites,
+        );
     }
     check_scope_coverage(&scanned, config, &mut findings);
+    check_failpoint_registry_staleness(&seen_sites, config, &mut findings);
 
     findings.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
     findings
@@ -427,6 +440,111 @@ fn check_panic_hygiene(
     }
 }
 
+/// `failpoint-hygiene`: every fault-injection site named at a
+/// `failpoint::fire(...)` / `failpoint::eval(...)` / `batch_failpoint(...)`
+/// call under the configured `paths` must be registered in `lint.toml`
+/// (`[rules.failpoint-hygiene] sites = [...]`) or carry an inline
+/// waiver. The registry is the reviewed catalog chaos schedules and CI
+/// fault matrices draw from; an unregistered hot-path site is injectable
+/// fault surface nobody audited. Only literal site names are checked —
+/// the one sanctioned variable-site call is the `batch_failpoint`
+/// plumbing helper itself.
+#[allow(clippy::too_many_arguments)]
+fn check_failpoint_hygiene(
+    path: &str,
+    lines: &[Line],
+    source: &str,
+    waivers: &Waivers,
+    config: &Config,
+    findings: &mut Vec<Finding>,
+    seen_sites: &mut BTreeSet<String>,
+) {
+    const TOKENS: &[&str] = &["failpoint::fire(", "failpoint::eval(", "batch_failpoint("];
+    let rule = config.rule("failpoint-hygiene");
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let enforced = applies(&rule, path) && !rule.paths.is_empty();
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        // Declaration lines (`fn batch_failpoint(...)`) define the
+        // plumbing, they are not injection sites.
+        if fn_decl(&line.code).is_some() {
+            continue;
+        }
+        let Some(token) = TOKENS.iter().find(|t| line.code.contains(*t)) else {
+            continue;
+        };
+        // The blanked `code` proves the token is real code; the site
+        // literal itself must come from the raw line.
+        let Some(site) = raw_lines
+            .get(idx)
+            .and_then(|raw| extract_site_literal(raw, token))
+        else {
+            continue; // variable site: the sanctioned plumbing helper
+        };
+        seen_sites.insert(site.clone());
+        if !enforced || waivers.waived(idx, "failpoint-hygiene") {
+            continue;
+        }
+        if !rule.sites.iter().any(|s| s == &site) {
+            push(
+                findings,
+                path,
+                idx,
+                "failpoint-hygiene",
+                rule.severity,
+                format!(
+                    "failpoint site `{site}` is not registered in lint.toml \
+                     ([rules.failpoint-hygiene] sites) — register it so chaos \
+                     schedules and the CI fault matrix know it exists, or \
+                     waive this line"
+                ),
+            );
+        }
+    }
+}
+
+/// The registry side of `failpoint-hygiene`: a site listed in
+/// `lint.toml` that no scanned file names is stale — it silently
+/// disarms every chaos schedule that targets it.
+fn check_failpoint_registry_staleness(
+    seen_sites: &BTreeSet<String>,
+    config: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    let rule = config.rule("failpoint-hygiene");
+    if rule.severity == Severity::Allow {
+        return;
+    }
+    for site in &rule.sites {
+        if !seen_sites.contains(site) {
+            findings.push(Finding {
+                path: "lint.toml".to_string(),
+                line: 1,
+                rule: "failpoint-hygiene".to_string(),
+                severity: rule.severity,
+                message: format!(
+                    "registered failpoint site `{site}` does not appear in any \
+                     scanned source file — remove the stale registration or \
+                     restore the site"
+                ),
+            });
+        }
+    }
+}
+
+/// Extract the first string literal following `token` on a raw source
+/// line: `failpoint::fire("a::b::c")` → `a::b::c`. Returns `None` when
+/// the argument is not a literal on the same line.
+fn extract_site_literal(raw: &str, token: &str) -> Option<String> {
+    let after = &raw[raw.find(token)? + token.len()..];
+    let open = after.find('"')?;
+    let body = &after[open + 1..];
+    let close = body.find('"')?;
+    Some(body[..close].to_string())
+}
+
 /// `scope-coverage`: every `pub fn` in the configured kernel paths must
 /// open a profiler scope or taxonomy event — directly (`run_op`,
 /// `time_op`, `profile::record`, …) or by delegating to another public
@@ -679,6 +797,48 @@ mod tests {
         let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); let i = Instant::now(); std::thread::spawn(|| {}); }\n}\n";
         let toml = "[rules.panic-hygiene]\npaths = [\"crates\"]\n";
         assert!(run("crates/x/src/lib.rs", src, toml).is_empty());
+    }
+
+    #[test]
+    fn failpoint_sites_must_be_registered_or_waived() {
+        let toml = "[rules.failpoint-hygiene]\npaths = [\"crates/serve/src\"]\nsites = [\"serve::server::admission\"]\n";
+        let registered =
+            "fn f() {\n    if failpoint::fire(\"serve::server::admission\") {\n        return;\n    }\n}\n";
+        assert!(run("crates/serve/src/server.rs", registered, toml).is_empty());
+
+        let stray = "fn f() {\n    let _ = failpoint::fire(\"serve::server::admission\");\n    let _ = failpoint::fire(\"serve::server::rogue\");\n}\n";
+        let findings = run("crates/serve/src/server.rs", stray, toml);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "failpoint-hygiene");
+        assert!(findings[0].message.contains("rogue"));
+
+        let waived = "fn f() {\n    let _ = failpoint::fire(\"serve::server::admission\");\n    // nsai-lint: allow(failpoint-hygiene): prototype site, registry follows in the next PR.\n    let _ = failpoint::fire(\"serve::server::rogue\");\n}\n";
+        assert!(run("crates/serve/src/server.rs", waived, toml).is_empty());
+    }
+
+    #[test]
+    fn failpoint_rule_is_scoped_and_flags_stale_registrations() {
+        let toml = "[rules.failpoint-hygiene]\npaths = [\"crates/serve/src\"]\nsites = [\"serve::server::admission\"]\n";
+        // Outside the configured paths: literal sites are never flagged
+        // (the serve file keeps the registered site alive for staleness).
+        let config = Config::parse(toml).expect("config");
+        let serve = "fn f() {\n    let _ = failpoint::fire(\"serve::server::admission\");\n}\n";
+        let elsewhere = "fn g() {\n    let _ = failpoint::fire(\"bench::unregistered\");\n}\n";
+        let findings = analyze(
+            &[
+                ("crates/serve/src/server.rs".to_string(), serve.to_string()),
+                ("crates/bench/src/lib.rs".to_string(), elsewhere.to_string()),
+            ],
+            &config,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+
+        // A registered site that appears nowhere is stale.
+        let findings = run("crates/serve/src/server.rs", "fn f() {}\n", toml);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "failpoint-hygiene");
+        assert_eq!(findings[0].path, "lint.toml");
+        assert!(findings[0].message.contains("stale"));
     }
 
     #[test]

@@ -258,6 +258,79 @@ fn hot_path_waiver_requires_justification_and_works() {
     assert!(run(&hot_path_config(), &[("hot/server.rs", src)]).is_empty());
 }
 
+// ------------------------------------------------------- failpoint-hygiene
+
+/// Config mirroring the workspace's failpoint registry shape: the rule
+/// enforced under `hot/`, with two registered sites.
+fn failpoint_config() -> Config {
+    Config::parse(
+        "[rules.failpoint-hygiene]\n\
+         paths = [\"hot\"]\n\
+         sites = [\"serve::server::admission\", \"serve::queue::enqueue\"]\n",
+    )
+    .expect("config")
+}
+
+#[test]
+fn registered_failpoint_sites_pass() {
+    let src = "pub fn submit() -> bool {\n    if failpoint::fire(\"serve::server::admission\") {\n        return false;\n    }\n    failpoint::fire(\"serve::queue::enqueue\")\n}\n";
+    let findings = run(&failpoint_config(), &[("hot/server.rs", src)]);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn unregistered_hot_path_failpoint_site_is_denied() {
+    let src = "pub fn submit() {\n    let _ = failpoint::fire(\"serve::server::admission\");\n    let _ = failpoint::fire(\"serve::queue::enqueue\");\n    let _ = failpoint::fire(\"serve::server::backdoor\");\n}\n";
+    let findings = run(&failpoint_config(), &[("hot/server.rs", src)]);
+    assert_eq!(rule_names(&findings), vec!["failpoint-hygiene"]);
+    assert_eq!(findings[0].line, 4);
+    assert_eq!(findings[0].severity, Severity::Deny);
+    assert!(findings[0].message.contains("backdoor"));
+    // Also covers eval() and the batch_failpoint helper spelling.
+    let eval = "pub fn submit() {\n    let _ = failpoint::fire(\"serve::server::admission\");\n    let _ = failpoint::fire(\"serve::queue::enqueue\");\n    let _ = failpoint::eval(\"serve::server::backdoor\");\n}\n";
+    let helper = "pub fn run(inputs: &[u8]) {\n    let _ = failpoint::fire(\"serve::server::admission\");\n    let _ = failpoint::fire(\"serve::queue::enqueue\");\n    let _ = batch_failpoint(\"serve::server::backdoor\", inputs);\n}\n";
+    for src in [eval, helper] {
+        let findings = run(&failpoint_config(), &[("hot/server.rs", src)]);
+        assert_eq!(rule_names(&findings), vec!["failpoint-hygiene"], "{src}");
+        assert!(findings[0].message.contains("backdoor"), "{src}");
+    }
+}
+
+#[test]
+fn waived_failpoint_site_passes() {
+    let src = "pub fn submit() {\n    let _ = failpoint::fire(\"serve::server::admission\");\n    let _ = failpoint::fire(\"serve::queue::enqueue\");\n    // nsai-lint: allow(failpoint-hygiene): experimental site, registered once the API settles.\n    let _ = failpoint::fire(\"serve::server::backdoor\");\n}\n";
+    let findings = run(&failpoint_config(), &[("hot/server.rs", src)]);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn stale_failpoint_registration_is_reported_against_lint_toml() {
+    let src = "pub fn submit() {\n    let _ = failpoint::fire(\"serve::server::admission\");\n}\n";
+    let findings = run(&failpoint_config(), &[("hot/server.rs", src)]);
+    assert_eq!(rule_names(&findings), vec!["failpoint-hygiene"]);
+    assert_eq!(findings[0].path, "lint.toml");
+    assert!(findings[0].message.contains("serve::queue::enqueue"));
+}
+
+#[test]
+fn variable_site_plumbing_and_cold_paths_are_not_flagged() {
+    // The plumbing helper passes its site through a variable — the one
+    // sanctioned non-literal call.
+    let plumbing = "pub(crate) fn batch_failpoint(site: &str) -> bool {\n    nsai_core::failpoint::fire(site)\n}\n";
+    let registry_anchor = "pub fn submit() {\n    let _ = failpoint::fire(\"serve::server::admission\");\n    let _ = failpoint::fire(\"serve::queue::enqueue\");\n}\n";
+    let findings = run(
+        &failpoint_config(),
+        &[
+            ("hot/workload.rs", plumbing),
+            ("hot/server.rs", registry_anchor),
+        ],
+    );
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+    // Outside the configured paths the rule only tracks staleness.
+    let cold = "pub fn probe() {\n    let _ = failpoint::fire(\"serve::server::admission\");\n    let _ = failpoint::fire(\"serve::queue::enqueue\");\n    let _ = failpoint::fire(\"debug::anything\");\n}\n";
+    assert!(run(&failpoint_config(), &[("cold/probe.rs", cold)]).is_empty());
+}
+
 // -------------------------------------------------------------- reporting
 
 #[test]

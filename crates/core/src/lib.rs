@@ -21,6 +21,8 @@
 //!   so workload code stays free of bookkeeping.
 //! - [`memory`] — live-byte tracking, high-water marks, and storage
 //!   footprint registration (weights vs. codebooks, Fig. 3b).
+//! - [`failpoint`] — deterministic fault injection (zero-cost when
+//!   disarmed) for chaos and failure-mode testing of the serving stack.
 //! - [`metrics`] — lock-free counters and log-bucketed latency histograms
 //!   for population-level (serving) statistics: p50/p95/p99, queue
 //!   depths, batch-size distributions.
@@ -63,6 +65,7 @@ pub mod compare;
 pub mod error;
 pub mod event;
 pub mod export;
+pub mod failpoint;
 pub mod memory;
 pub mod metrics;
 pub mod profile;

@@ -80,7 +80,7 @@ impl LogHistogram {
         (base + (k - k0) * Self::SUB_BUCKETS + sub) as usize
     }
 
-    /// Lower edge of bucket `index` (the value reported for percentiles).
+    /// Lower edge of bucket `index`.
     fn lower_bound(index: usize) -> u64 {
         let i = index as u64;
         if i < Self::LINEAR_MAX {
@@ -90,6 +90,28 @@ impl LogHistogram {
         let k = k0 + (i - Self::LINEAR_MAX) / Self::SUB_BUCKETS;
         let sub = (i - Self::LINEAR_MAX) % Self::SUB_BUCKETS;
         (1 << k) + (sub << k) / Self::SUB_BUCKETS
+    }
+
+    /// Highest value bucket `index` can hold. The final (clamp) bucket
+    /// absorbs every sample at or above [`Self::CLAMP_MAX`], so its upper
+    /// bound is unbounded.
+    fn upper_bound(index: usize) -> u64 {
+        if index >= Self::index_of(Self::CLAMP_MAX) {
+            u64::MAX
+        } else {
+            Self::lower_bound(index + 1) - 1
+        }
+    }
+
+    /// Inclusive `(low, high)` bounds of the bucket that `value` lands in.
+    ///
+    /// Exposes the bucketing geometry for property tests and external
+    /// reporting: `low <= value`, and `value <= high` always holds
+    /// (values beyond [`Self::CLAMP_MAX`] share the final bucket, whose
+    /// `high` is `u64::MAX`).
+    pub fn bucket_bounds(value: u64) -> (u64, u64) {
+        let i = Self::index_of(value);
+        (Self::lower_bound(i), Self::upper_bound(i))
     }
 
     /// Record one sample. Wait-free: three relaxed atomic RMWs plus a CAS
@@ -140,10 +162,14 @@ impl LogHistogram {
         self.count() == 0
     }
 
-    /// The value at percentile `p` (0–100): the lower bound of the first
-    /// bucket whose cumulative count reaches `p`% of samples. Returns 0
-    /// for an empty histogram. Relative error is bounded by the bucket
-    /// width (`1 / SUB_BUCKETS` above the linear region).
+    /// The value at percentile `p` (0–100): the *upper* bound of the
+    /// first bucket whose cumulative count reaches `p`% of samples,
+    /// clamped to the observed [`Self::max`]. Upper-bound reporting
+    /// over-, never under-, estimates a latency quantile — the safe
+    /// direction for SLO checks — and makes `percentile(100.0)` equal
+    /// `max()` exactly. Returns 0 for an empty histogram. Relative error
+    /// is bounded by the bucket width (`1 / SUB_BUCKETS` above the
+    /// linear region; exact below it).
     pub fn percentile(&self, p: f64) -> u64 {
         let total = self.count();
         if total == 0 {
@@ -156,7 +182,7 @@ impl LogHistogram {
         for (i, b) in self.buckets.iter().enumerate() {
             cumulative += b.load(Ordering::Relaxed);
             if cumulative >= rank {
-                return Self::lower_bound(i);
+                return Self::upper_bound(i).min(self.max());
             }
         }
         self.max()
@@ -173,6 +199,34 @@ impl LogHistogram {
                 (c > 0).then(|| (Self::lower_bound(i), c))
             })
             .collect()
+    }
+
+    /// Fold every sample of `other` into `self` (bucket-wise addition;
+    /// counts and sums add, maxes fold). Merging is commutative and
+    /// associative up to the usual relaxed-snapshot caveat, and merging
+    /// two histograms is equivalent to recording both sample streams
+    /// into one — the reduction used to combine per-worker histograms
+    /// into a fleet-wide view.
+    pub fn merge(&self, other: &LogHistogram) {
+        for (dst, src) in self.buckets.iter().zip(&other.buckets) {
+            let n = src.load(Ordering::Relaxed);
+            if n > 0 {
+                dst.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        let theirs = other.max();
+        let mut seen = self.max.load(Ordering::Relaxed);
+        while theirs > seen {
+            match self
+                .max
+                .compare_exchange_weak(seen, theirs, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(now) => seen = now,
+            }
+        }
     }
 
     /// Reset all buckets and counters to zero.
@@ -362,7 +416,47 @@ mod tests {
         h.record(LogHistogram::CLAMP_MAX * 2);
         assert_eq!(h.count(), 2);
         assert_eq!(h.max(), u64::MAX);
-        assert!(h.percentile(50.0) <= LogHistogram::CLAMP_MAX);
+        // Clamped samples share the overflow bucket, whose reported
+        // percentile is the observed max — never a fabricated bound.
+        assert_eq!(h.percentile(50.0), h.max());
+    }
+
+    #[test]
+    fn percentile_reports_upper_bucket_bound() {
+        // A single sample in the log region: every percentile must be
+        // >= the sample (upper-bound semantics) and == max for p100.
+        let h = LogHistogram::new();
+        h.record(1000);
+        assert!(h.percentile(50.0) >= 1000);
+        assert_eq!(h.percentile(100.0), 1000);
+        // Exactly on a power-of-two boundary: still never under-reports.
+        let h = LogHistogram::new();
+        h.record(4096);
+        assert!(h.percentile(99.0) >= 4096);
+        assert_eq!(h.percentile(100.0), 4096);
+    }
+
+    #[test]
+    fn merge_equals_recording_both_streams() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        let combined = LogHistogram::new();
+        for v in 1..=500u64 {
+            a.record(v * 3);
+            combined.record(v * 3);
+        }
+        for v in 1..=200u64 {
+            b.record(v * 7 + 1);
+            combined.record(v * 7 + 1);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        assert_eq!(a.sum(), combined.sum());
+        assert_eq!(a.max(), combined.max());
+        assert_eq!(a.nonzero_buckets(), combined.nonzero_buckets());
+        for p in [1.0, 25.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(a.percentile(p), combined.percentile(p));
+        }
     }
 
     #[test]

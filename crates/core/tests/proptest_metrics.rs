@@ -1,0 +1,197 @@
+//! Property tests for the log-bucketed histogram (`nsai_core::metrics`).
+//!
+//! The contracts checked here are the ones the serving layer leans on
+//! when it publishes latency snapshots:
+//!
+//! - `bucket_bounds(v)` brackets `v`, and buckets tile the axis without
+//!   gaps or overlaps;
+//! - `percentile` reports the *upper* bound of the winning bucket
+//!   (clamped to the observed max), so it over-estimates — never
+//!   under-estimates — the true order statistic, with bounded relative
+//!   error from the 1/32 sub-bucket resolution;
+//! - percentiles are monotone in `p` (p50 <= p95 <= p99 <= p100 = max);
+//! - `merge` commutes and equals recording the concatenated stream.
+
+use nsai_core::metrics::LogHistogram;
+use proptest::prelude::*;
+
+/// Raw draws are `(magnitude, shift)` pairs; [`scale`] turns one into a
+/// value, spreading samples across the linear region, the log region,
+/// and past the clamp (`CLAMP_MAX = 2^40`) — a plain uniform range
+/// would almost never land below `LINEAR_MAX`.
+type RawValue = (u64, u32);
+
+fn scale((v, shift): RawValue) -> u64 {
+    v >> shift
+}
+
+fn any_raw() -> impl Strategy<Value = RawValue> {
+    (0u64..(1u64 << 42), 0u32..42u32)
+}
+
+fn value_vec(max_len: usize) -> impl Strategy<Value = Vec<RawValue>> {
+    prop::collection::vec(any_raw(), 1..=max_len)
+}
+
+/// The true order statistic matching `LogHistogram::percentile`'s rank
+/// definition: the smallest value with at least `ceil(p/100 * n)` (min
+/// 1) recorded values at or below it.
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bounds_bracket_the_value(raw in any_raw()) {
+        let v = scale(raw);
+        let (lo, hi) = LogHistogram::bucket_bounds(v);
+        // Values past the clamp share the final bucket (lo <= CLAMP_MAX,
+        // hi unbounded); everything else is bracketed directly.
+        prop_assert!(lo <= v.min(LogHistogram::CLAMP_MAX) && v <= hi,
+            "bucket [{lo}, {hi}] does not bracket {v}");
+    }
+
+    #[test]
+    fn buckets_tile_without_gaps_or_overlaps(v in 0u64..(1u64 << 41)) {
+        // Adjacent values either share a bucket or sit in adjacent
+        // buckets whose bounds meet exactly (hi + 1 == next lo).
+        let (lo_a, hi_a) = LogHistogram::bucket_bounds(v);
+        let (lo_b, hi_b) = LogHistogram::bucket_bounds(v + 1);
+        if lo_a == lo_b {
+            prop_assert_eq!(hi_a, hi_b, "same bucket, different upper bound");
+        } else {
+            prop_assert_eq!(hi_a + 1, lo_b,
+                "gap or overlap between buckets at {}", v);
+            prop_assert!(hi_b >= hi_a);
+        }
+    }
+
+    #[test]
+    fn percentile_never_under_estimates(raw in value_vec(300), p in 1.0f64..=100.0) {
+        let values: Vec<u64> = raw.into_iter().map(scale).collect();
+        let h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let truth = exact_percentile(&sorted, p);
+        let got = h.percentile(p);
+        prop_assert!(got >= truth,
+            "p{p}: histogram reported {got} below the true value {truth}");
+        if truth < LogHistogram::CLAMP_MAX {
+            // Over-estimation is bounded by the winning bucket's width:
+            // exact below LINEAR_MAX, <= 1/SUB_BUCKETS relative above it.
+            let slack = truth / LogHistogram::SUB_BUCKETS + 1;
+            prop_assert!(got <= truth.saturating_add(slack),
+                "p{p}: {got} over-estimates {truth} by more than a bucket");
+        } else {
+            // The rank landed in the clamp bucket, whose upper bound is
+            // the observed max.
+            prop_assert_eq!(got, h.max());
+        }
+    }
+
+    #[test]
+    fn small_values_report_exact_percentiles(
+        values in prop::collection::vec(0u64..LogHistogram::LINEAR_MAX, 1..200),
+        p in 1.0f64..=100.0,
+    ) {
+        // The linear region has unit-width buckets: no estimation error.
+        let h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(h.percentile(p), exact_percentile(&sorted, p));
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_top_out_at_max(raw in value_vec(300)) {
+        let h = LogHistogram::new();
+        for &r in &raw {
+            h.record(scale(r));
+        }
+        let ps = [1.0, 25.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0];
+        for w in ps.windows(2) {
+            prop_assert!(h.percentile(w[0]) <= h.percentile(w[1]),
+                "p{} > p{}", w[0], w[1]);
+        }
+        prop_assert_eq!(h.percentile(100.0), h.max());
+    }
+
+    #[test]
+    fn merge_commutes_and_equals_concatenation(
+        raw_a in value_vec(150),
+        raw_b in value_vec(150),
+    ) {
+        let a: Vec<u64> = raw_a.into_iter().map(scale).collect();
+        let b: Vec<u64> = raw_b.into_iter().map(scale).collect();
+        let ha = LogHistogram::new();
+        for &v in &a {
+            ha.record(v);
+        }
+        let hb = LogHistogram::new();
+        for &v in &b {
+            hb.record(v);
+        }
+        let ab = LogHistogram::new();
+        ab.merge(&ha);
+        ab.merge(&hb);
+        let ba = LogHistogram::new();
+        ba.merge(&hb);
+        ba.merge(&ha);
+        let concat = LogHistogram::new();
+        for &v in a.iter().chain(&b) {
+            concat.record(v);
+        }
+        for h in [&ab, &ba] {
+            prop_assert_eq!(h.count(), concat.count());
+            prop_assert_eq!(h.sum(), concat.sum());
+            prop_assert_eq!(h.max(), concat.max());
+            prop_assert_eq!(h.nonzero_buckets(), concat.nonzero_buckets());
+            for p in [50.0, 95.0, 99.0, 100.0] {
+                prop_assert_eq!(h.percentile(p), concat.percentile(p));
+            }
+        }
+    }
+}
+
+/// Deterministic boundary sweep alongside the randomized properties:
+/// every power-of-two edge, the linear/log seam, and the clamp.
+#[test]
+fn boundary_values_land_in_self_consistent_buckets() {
+    let mut edges = vec![
+        0,
+        1,
+        LogHistogram::LINEAR_MAX - 1,
+        LogHistogram::LINEAR_MAX,
+        LogHistogram::LINEAR_MAX + 1,
+        LogHistogram::CLAMP_MAX - 1,
+        LogHistogram::CLAMP_MAX,
+        LogHistogram::CLAMP_MAX + 1,
+        u64::MAX,
+    ];
+    for k in 6..=40u32 {
+        let p = 1u64 << k;
+        edges.extend_from_slice(&[p - 1, p, p + 1]);
+    }
+    for &v in &edges {
+        let (lo, hi) = LogHistogram::bucket_bounds(v);
+        assert!(
+            lo <= v.min(LogHistogram::CLAMP_MAX) && v <= hi,
+            "value {v}: bucket [{lo}, {hi}]"
+        );
+        let h = LogHistogram::new();
+        h.record(v);
+        // A single sample's percentile is its bucket's upper bound
+        // clamped to the observed max — i.e. exactly the sample itself,
+        // even past CLAMP_MAX (the clamp bucket reports the raw max).
+        assert_eq!(h.percentile(50.0), v, "value {v}");
+        assert_eq!(h.max(), v, "value {v}");
+    }
+}

@@ -1,0 +1,387 @@
+//! Seeded chaos harness: drive the server through a randomized fault
+//! schedule and check its failure contract.
+//!
+//! The contract under test (see `tests/chaos.rs` at the workspace root
+//! for the enforcing suite):
+//!
+//! 1. **Outcome conservation** — every admitted request terminates with
+//!    exactly one outcome, and the metrics reconcile:
+//!    `submitted = completed + panicked + timed_out + aborted`, with
+//!    `offered = submitted + rejected + refused` on the client side.
+//! 2. **Bitwise parity** — a request that completes OK under chaos
+//!    carries the exact output a fault-free run produces for its case.
+//!    Faults may *fail* requests, never corrupt them.
+//! 3. **No deadlock** — every ticket resolves within a watchdog budget.
+//! 4. **Self-healing** — injected replica panics leave the worker pool
+//!    at full width (panics are contained per batch and the replica is
+//!    rebuilt).
+//!
+//! Fault schedules come from [`chaos_schedule`]: a pure function of a
+//! seed, expressed in the `NEUROSYM_FAILPOINTS` spec grammar, so a
+//! failing CI seed reproduces locally with no extra state. Injected
+//! *panics* are confined to `serve::server::replica_run` — the one site
+//! wrapped in `catch_unwind` — while scheduling perturbations
+//! (delay/yield) and error injections land on the surrounding
+//! admission, enqueue, dispatch, rebuild, and drain sites.
+
+use crate::config::ServeConfig;
+use crate::request::Response;
+use crate::server::{Server, ShutdownMode, SubmitError};
+use crate::ServeError;
+use nsai_core::failpoint::FailpointGuard;
+use nsai_core::taxonomy::NsCategory;
+use nsai_workloads::{CaseInput, Workload, WorkloadError, WorkloadOutput};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// A deliberately cheap, pure workload for chaos runs: its output is a
+/// deterministic hash chain of the case id, so expected outputs need no
+/// server (see [`ChaosWorkload::expected`]) and every completed request
+/// can be checked for bitwise parity.
+#[derive(Debug, Default)]
+pub struct ChaosWorkload;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl ChaosWorkload {
+    /// The exact output [`Workload::run_case`] produces for `case` — the
+    /// fault-free reference for parity checks, computable without a
+    /// server.
+    pub fn expected(case: u64) -> WorkloadOutput {
+        // A short hash chain stands in for real service work; folding
+        // keeps the result sensitive to every step. Metrics are stored
+        // as f64, so expose 53-bit-safe halves for exact equality.
+        let mut acc = case;
+        for _ in 0..256 {
+            acc = splitmix64(acc);
+        }
+        let mut out = WorkloadOutput::new();
+        out.set("case", case as f64);
+        out.set("digest_hi", (acc >> 32) as f64);
+        out.set("digest_lo", (acc & 0xFFFF_FFFF) as f64);
+        out
+    }
+}
+
+impl Workload for ChaosWorkload {
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+
+    fn category(&self) -> NsCategory {
+        NsCategory::SymbolicNeuro
+    }
+
+    fn run_case(&mut self, input: &CaseInput) -> Result<WorkloadOutput, WorkloadError> {
+        Ok(Self::expected(input.case))
+    }
+}
+
+/// One chaos run's shape. Faults are supplied separately (see
+/// [`run_chaos`]) so the same traffic can run fault-free as a baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Serving seed: perturbs nothing by itself, but names the run and
+    /// seeds [`chaos_schedule`] in the CI matrix.
+    pub seed: u64,
+    /// Total requests offered across all clients.
+    pub requests: usize,
+    /// Concurrent submitting clients.
+    pub clients: usize,
+    /// Serving worker threads.
+    pub workers: usize,
+    /// Micro-batch ceiling.
+    pub max_batch: usize,
+    /// Admission queue capacity.
+    pub queue_capacity: usize,
+    /// Per-ticket wait budget; exceeding it flags a deadlock.
+    pub watchdog: Duration,
+    /// How the post-traffic shutdown treats still-queued work. `Abort`
+    /// runs shutdown while tickets are still unresolved, exercising the
+    /// orphan-failing path.
+    pub shutdown: ShutdownMode,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0,
+            requests: 400,
+            clients: 4,
+            workers: 4,
+            max_batch: 8,
+            queue_capacity: 64,
+            watchdog: Duration::from_secs(30),
+            shutdown: ShutdownMode::Drain,
+        }
+    }
+}
+
+/// How one offered request terminated. Exactly one variant per request —
+/// the "exactly one outcome" half of the conservation invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosOutcome {
+    /// Completed with the workload's output.
+    Ok(WorkloadOutput),
+    /// Completed with a workload-level error (counted as `completed` by
+    /// the server, like any workload result).
+    WorkloadErr(String),
+    /// Failed because its replica panicked (contained; replica rebuilt).
+    Panicked,
+    /// Expired in the queue.
+    TimedOut,
+    /// Failed by an abort-mode shutdown before dispatch.
+    Aborted,
+    /// Rejected at admission (queue full / injected admission fault).
+    Rejected,
+    /// Refused because the server was already shutting down.
+    Refused,
+    /// The ticket did not resolve within the watchdog budget. Any
+    /// occurrence is a contract violation.
+    Deadlocked,
+}
+
+/// Everything a chaos run observed, for the invariant checks.
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// Requests offered (== `ChaosConfig::requests`).
+    pub offered: usize,
+    /// Per-case terminal outcomes, keyed by case id.
+    pub outcomes: BTreeMap<u64, ChaosOutcome>,
+    /// Frozen server metrics, taken after shutdown.
+    pub metrics: crate::metrics::MetricsSnapshot,
+    /// Worker threads still alive after traffic, before shutdown.
+    pub live_workers_after_traffic: usize,
+}
+
+impl ChaosReport {
+    /// `true` when any ticket blew the watchdog.
+    pub fn deadlocked(&self) -> bool {
+        self.outcomes
+            .values()
+            .any(|o| matches!(o, ChaosOutcome::Deadlocked))
+    }
+
+    /// Check outcome conservation on both the client ledger and the
+    /// server counters.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated balance equation.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        if self.outcomes.len() != self.offered {
+            return Err(format!(
+                "client ledger: {} outcomes for {} offered requests",
+                self.outcomes.len(),
+                self.offered
+            ));
+        }
+        if self.deadlocked() {
+            return Err("watchdog: at least one ticket never resolved".to_string());
+        }
+        let count =
+            |f: &dyn Fn(&ChaosOutcome) -> bool| self.outcomes.values().filter(|o| f(o)).count();
+        let completed = count(&|o| matches!(o, ChaosOutcome::Ok(_) | ChaosOutcome::WorkloadErr(_)));
+        let panicked = count(&|o| matches!(o, ChaosOutcome::Panicked));
+        let timed_out = count(&|o| matches!(o, ChaosOutcome::TimedOut));
+        let aborted = count(&|o| matches!(o, ChaosOutcome::Aborted));
+        let rejected = count(&|o| matches!(o, ChaosOutcome::Rejected));
+        let refused = count(&|o| matches!(o, ChaosOutcome::Refused));
+        let admitted = completed + panicked + timed_out + aborted;
+
+        let m = &self.metrics;
+        let server_terminal = m.completed + m.panicked + m.timed_out + m.aborted;
+        if m.submitted != server_terminal {
+            return Err(format!(
+                "server counters: submitted {} != completed {} + panicked {} \
+                 + timed_out {} + aborted {}",
+                m.submitted, m.completed, m.panicked, m.timed_out, m.aborted
+            ));
+        }
+        if admitted as u64 != m.submitted {
+            return Err(format!(
+                "ledger admitted {admitted} != server submitted {}",
+                m.submitted
+            ));
+        }
+        if rejected as u64 != m.rejected {
+            return Err(format!(
+                "ledger rejected {rejected} != server rejected {}",
+                m.rejected
+            ));
+        }
+        if admitted + rejected + refused != self.offered {
+            return Err(format!(
+                "offered {} != admitted {admitted} + rejected {rejected} \
+                 + refused {refused}",
+                self.offered
+            ));
+        }
+        Ok(())
+    }
+
+    /// Check that every OK completion is bitwise-identical to the
+    /// fault-free output for its case.
+    ///
+    /// # Errors
+    ///
+    /// The first case whose surviving output diverges.
+    pub fn check_parity(&self) -> Result<usize, String> {
+        let mut checked = 0;
+        for (case, outcome) in &self.outcomes {
+            if let ChaosOutcome::Ok(output) = outcome {
+                let expected = ChaosWorkload::expected(*case);
+                if *output != expected {
+                    return Err(format!(
+                        "case {case}: chaos output {output:?} != fault-free {expected:?}"
+                    ));
+                }
+                checked += 1;
+            }
+        }
+        Ok(checked)
+    }
+}
+
+/// Derive a fault schedule from `seed` in the `NEUROSYM_FAILPOINTS`
+/// grammar — a pure function, so CI only needs to log the seed for a
+/// failure to reproduce locally. Panics are confined to
+/// `serve::server::replica_run`; every other site gets error, delay, or
+/// yield injections at seed-chosen rates.
+pub fn chaos_schedule(seed: u64) -> String {
+    let r = |salt: u64| splitmix64(seed ^ salt);
+    let mut spec = Vec::new();
+    // Always shake the contained-panic path: it is the heart of the
+    // containment contract. Rate between 1-in-4 and 1-in-11.
+    spec.push(format!(
+        "serve::server::replica_run=panic@1in{}",
+        4 + r(1) % 8
+    ));
+    if r(2) % 2 == 0 {
+        spec.push(format!(
+            "serve::server::admission=return_err@p0.{:02}s{}",
+            1 + r(3) % 20,
+            seed
+        ));
+    }
+    if r(4) % 2 == 0 {
+        spec.push(format!(
+            "serve::queue::enqueue=return_err@1in{}",
+            5 + r(5) % 10
+        ));
+    }
+    if r(6) % 2 == 0 {
+        spec.push(format!(
+            "serve::server::batch_dispatch=delay({})@1in{}",
+            50 + r(7) % 500,
+            3 + r(8) % 5
+        ));
+    } else {
+        spec.push("serve::server::batch_dispatch=yield@1in2".to_string());
+    }
+    spec.push(format!(
+        "serve::server::replica_rebuild=delay({})",
+        100 + r(9) % 400
+    ));
+    spec.push("serve::server::drain=yield".to_string());
+    // Perturb the kernel pool's claim loop too (no error path there).
+    spec.push(format!(
+        "tensor::par::task_claim=yield@1in{}",
+        2 + r(10) % 6
+    ));
+    spec.join(";")
+}
+
+/// Run one chaos episode: build a server over [`ChaosWorkload`], arm
+/// `fault_spec` (when given), offer `config.requests` across
+/// `config.clients` submitting threads, shut down per
+/// `config.shutdown`, and collect the ledger.
+///
+/// With `fault_spec = None` this is the fault-free baseline of the same
+/// traffic shape.
+///
+/// # Panics
+///
+/// On harness bugs (server construction failure, poisoned client
+/// threads) — never as part of the contract under test.
+pub fn run_chaos(config: &ChaosConfig, fault_spec: Option<&str>) -> ChaosReport {
+    let server = Server::builder(
+        ServeConfig::default()
+            .workers(config.workers)
+            .max_batch(config.max_batch)
+            .queue_capacity(config.queue_capacity),
+    )
+    .register("chaos", || Box::new(ChaosWorkload))
+    .start()
+    .expect("chaos server must start");
+
+    let _guard = fault_spec.map(FailpointGuard::arm_many);
+
+    let per_client = config.requests.div_ceil(config.clients.max(1));
+    let offered = config.requests;
+    // Phase 1: submit everything (blocking on queue space, so a
+    // fault-free baseline admits every request), keeping tickets
+    // unresolved so an abort-mode shutdown has queued work to orphan.
+    // Rejections therefore come only from armed admission/enqueue
+    // failpoints, never from the harness outrunning its own queue.
+    let tickets: Vec<(u64, Result<crate::Ticket, SubmitError>)> = std::thread::scope(|scope| {
+        let server = &server;
+        let handles: Vec<_> = (0..config.clients)
+            .map(|client| {
+                scope.spawn(move || {
+                    let lo = client * per_client;
+                    let hi = (lo + per_client).min(offered);
+                    (lo..hi)
+                        .map(|i| {
+                            let case = i as u64;
+                            (case, server.submit_blocking("chaos", CaseInput::new(case)))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("chaos client thread"))
+            .collect()
+    });
+
+    let live_workers_after_traffic = server.live_workers();
+    server.shutdown(config.shutdown);
+
+    // Phase 2: resolve every ticket under the watchdog.
+    let mut outcomes = BTreeMap::new();
+    for (case, submitted) in tickets {
+        let outcome = match submitted {
+            Err(SubmitError::QueueFull) => ChaosOutcome::Rejected,
+            Err(_) => ChaosOutcome::Refused,
+            Ok(ticket) => match ticket.wait_timeout(config.watchdog) {
+                None => ChaosOutcome::Deadlocked,
+                Some(response) => outcome_of(response),
+            },
+        };
+        outcomes.insert(case, outcome);
+    }
+
+    ChaosReport {
+        offered,
+        outcomes,
+        metrics: server.metrics_snapshot(),
+        live_workers_after_traffic,
+    }
+}
+
+fn outcome_of(response: Response) -> ChaosOutcome {
+    match response {
+        Ok(output) => ChaosOutcome::Ok(output),
+        Err(ServeError::Workload(msg)) => ChaosOutcome::WorkloadErr(msg),
+        Err(ServeError::WorkerPanicked) => ChaosOutcome::Panicked,
+        Err(ServeError::DeadlineExceeded) => ChaosOutcome::TimedOut,
+        Err(ServeError::Aborted) => ChaosOutcome::Aborted,
+    }
+}

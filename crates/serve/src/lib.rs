@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod config;
 pub mod loadgen;
 pub mod metrics;

@@ -52,11 +52,35 @@ impl OpenLoopRun {
     }
 }
 
-/// Offer `workload` requests at `rate_hz` (Poisson arrivals) for
-/// `duration`, then wait for every admitted request. Case ids are the
-/// arrival indices, so a given seed and rate offer the same episode
-/// sequence every run; which of them are admitted depends on server
-/// timing (that is the point of an open loop).
+/// The Poisson arrival schedule `open_loop_poisson` offers: arrival
+/// offsets from the start of the run, strictly increasing, all below
+/// `duration`. Inter-arrival gaps are exponential draws from one seeded
+/// [`StdRng`], so the schedule is a pure function of
+/// `(rate_hz, duration, seed)` — identical across runs, machines, and
+/// thread counts. The determinism regression suite asserts exactly that.
+///
+/// # Panics
+///
+/// When `rate_hz` is not positive.
+pub fn poisson_schedule(rate_hz: f64, duration: Duration, seed: u64) -> Vec<Duration> {
+    assert!(rate_hz > 0.0, "offered rate must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut arrivals = Vec::new();
+    let mut next_arrival = Duration::ZERO;
+    while next_arrival < duration {
+        arrivals.push(next_arrival);
+        let u: f64 = rng.gen();
+        next_arrival += Duration::from_secs_f64(-(1.0 - u).ln() / rate_hz);
+    }
+    arrivals
+}
+
+/// Offer `workload` requests at `rate_hz` (Poisson arrivals, the
+/// [`poisson_schedule`] trace) for `duration`, then wait for every
+/// admitted request. Case ids are the arrival indices, so a given seed
+/// and rate offer the same episode sequence every run; which of them are
+/// admitted depends on server timing (that is the point of an open
+/// loop).
 pub fn open_loop_poisson(
     server: &Server,
     workload: &str,
@@ -64,34 +88,28 @@ pub fn open_loop_poisson(
     duration: Duration,
     seed: u64,
 ) -> OpenLoopRun {
-    assert!(rate_hz > 0.0, "offered rate must be positive");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let schedule = poisson_schedule(rate_hz, duration, seed);
     let started = Instant::now();
-    let mut next_arrival = Duration::ZERO;
-    let mut offered = 0usize;
     let mut rejected = 0usize;
     let mut refused = 0usize;
     let mut tickets: Vec<Ticket> = Vec::new();
 
-    while next_arrival < duration {
-        let target = started + next_arrival;
+    for (index, arrival) in schedule.iter().enumerate() {
+        let target = started + *arrival;
         let now = Instant::now();
         if target > now {
             std::thread::sleep(target - now);
         }
-        match server.submit(workload, CaseInput::new(offered as u64)) {
+        match server.submit(workload, CaseInput::new(index as u64)) {
             Ok(ticket) => tickets.push(ticket),
             Err(SubmitError::QueueFull) => rejected += 1,
             Err(_) => refused += 1,
         }
-        offered += 1;
-        let u: f64 = rng.gen();
-        next_arrival += Duration::from_secs_f64(-(1.0 - u).ln() / rate_hz);
     }
 
     let responses: Vec<Response> = tickets.iter().map(Ticket::wait).collect();
     OpenLoopRun {
-        offered,
+        offered: schedule.len(),
         rejected,
         refused,
         responses,

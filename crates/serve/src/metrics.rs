@@ -30,6 +30,9 @@ pub struct ServerMetrics {
     pub panicked: Counter,
     /// Requests failed by an abort-mode shutdown before dispatch.
     pub aborted: Counter,
+    /// Replica rebuilds after contained panics (a fleet-health signal:
+    /// each rebuild re-runs the workload factory and `prepare`).
+    pub rebuilt: Counter,
     /// Instantaneous and peak queue depth.
     pub queue_depth: PeakGauge,
     /// Time from submission to dispatch, µs.
@@ -57,6 +60,7 @@ impl ServerMetrics {
             timed_out: self.timed_out.get(),
             panicked: self.panicked.get(),
             aborted: self.aborted.get(),
+            rebuilt: self.rebuilt.get(),
             queue_depth_peak: self.queue_depth.peak(),
             queue_wait_us: HistogramSnapshot::of(&self.queue_wait_us),
             service_us: HistogramSnapshot::of(&self.service_us),
@@ -75,6 +79,7 @@ impl ServerMetrics {
         self.timed_out.reset();
         self.panicked.reset();
         self.aborted.reset();
+        self.rebuilt.reset();
         self.queue_depth.reset_peak();
         self.queue_wait_us.reset();
         self.service_us.reset();
@@ -133,6 +138,8 @@ pub struct MetricsSnapshot {
     pub panicked: u64,
     /// Requests failed by an abort-mode shutdown.
     pub aborted: u64,
+    /// Replica rebuilds after contained panics.
+    pub rebuilt: u64,
     /// Highest queue depth observed.
     pub queue_depth_peak: u64,
     /// Queue-wait latency, µs.

@@ -7,6 +7,7 @@
 //! additionally *steal* queued same-workload requests to form batches.
 
 use crate::request::QueuedRequest;
+use nsai_core::failpoint;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
@@ -57,6 +58,11 @@ impl BoundedQueue {
 
     /// Non-blocking admission.
     pub(crate) fn try_push(&self, request: QueuedRequest) -> Result<usize, PushError> {
+        // Chaos site: `return_err` drops the push as if the queue were at
+        // capacity — backpressure injected below the admission check.
+        if failpoint::fire("serve::queue::enqueue") {
+            return Err(PushError::Full);
+        }
         let mut state = self.state.lock();
         if state.closed {
             return Err(PushError::Closed);
@@ -77,6 +83,10 @@ impl BoundedQueue {
     pub(crate) fn push_wait(&self, request: QueuedRequest) -> Result<usize, PushError> {
         if self.capacity == 0 {
             return self.try_push(request);
+        }
+        // Chaos site: see `try_push`.
+        if failpoint::fire("serve::queue::enqueue") {
+            return Err(PushError::Full);
         }
         let mut state = self.state.lock();
         loop {

@@ -5,6 +5,7 @@ use crate::config::ServeConfig;
 use crate::metrics::{MetricsSnapshot, ServerMetrics};
 use crate::queue::{BoundedQueue, PushError};
 use crate::request::{QueuedRequest, Response, ServeError, Ticket};
+use nsai_core::failpoint;
 use nsai_core::profile::Scope;
 use nsai_workloads::{CaseInput, Workload, WorkloadError};
 use std::fmt;
@@ -164,9 +165,19 @@ impl ServerBuilder {
         let mut workers = Vec::with_capacity(config.workers);
         for (id, replicas) in replica_sets.into_iter().enumerate() {
             let shared_worker = Arc::clone(&shared);
-            let spawned = std::thread::Builder::new()
-                .name(format!("nsai-serve-{id}"))
-                .spawn(move || worker_loop(&shared_worker, replicas));
+            // Chaos site: `return_err` models the OS refusing the thread,
+            // exercising the cleanup path below exactly as a real spawn
+            // failure would.
+            let spawned = if failpoint::fire("serve::server::worker_spawn") {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "failpoint serve::server::worker_spawn: injected spawn failure",
+                ))
+            } else {
+                std::thread::Builder::new()
+                    .name(format!("nsai-serve-{id}"))
+                    .spawn(move || worker_loop(&shared_worker, replicas))
+            };
             match spawned {
                 Ok(handle) => workers.push(handle),
                 Err(e) => {
@@ -261,6 +272,12 @@ impl Server {
         let index = shared
             .workload_index(workload)
             .ok_or_else(|| SubmitError::UnknownWorkload(workload.to_string()))?;
+        // Chaos site: `return_err` sheds the request at admission as if
+        // the queue were full — the caller-visible backpressure path.
+        if failpoint::fire("serve::server::admission") {
+            shared.metrics.rejected.incr();
+            return Err(SubmitError::QueueFull);
+        }
         let now = Instant::now();
         let (ticket, slot) = Ticket::new();
         let request = QueuedRequest {
@@ -295,6 +312,16 @@ impl Server {
         &self.shared.metrics
     }
 
+    /// Number of worker threads still running (0 after shutdown). Chaos
+    /// tests use this to assert the serving pool keeps its full width
+    /// through injected replica panics — workers contain panics and
+    /// rebuild rather than dying.
+    pub fn live_workers(&self) -> usize {
+        self.workers.lock().as_ref().map_or(0, |workers| {
+            workers.iter().filter(|w| !w.is_finished()).count()
+        })
+    }
+
     /// Freeze the current metrics.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.shared.metrics.snapshot()
@@ -313,6 +340,10 @@ impl Server {
         let Some(workers) = self.workers.lock().take() else {
             return;
         };
+        // Chaos site: stretch the window between deciding to shut down
+        // and closing the queue (`delay`/`yield`; `return_err` ignored —
+        // shutdown must always run to completion).
+        let _ = failpoint::fire("serve::server::drain");
         let orphans = self.shared.queue.close(matches!(mode, ShutdownMode::Drain));
         for request in orphans {
             self.shared.metrics.aborted.incr();
@@ -367,6 +398,11 @@ fn worker_loop(shared: &SharedState, mut replicas: Vec<Box<dyn Workload + Send>>
             continue;
         }
         shared.metrics.batch_size.record(live.len() as u64);
+        // Chaos site: perturb the window between coalescing a batch and
+        // executing it (`delay`/`yield` schedules only; `return_err` is
+        // ignored — there is no error path between claim and dispatch —
+        // and a `panic` here would be a server bug surfacing at join).
+        let _ = failpoint::fire("serve::server::batch_dispatch");
 
         // Traced requests (submitted under an active profiler) run
         // individually so their events attribute to exactly one
@@ -378,7 +414,18 @@ fn worker_loop(shared: &SharedState, mut replicas: Vec<Box<dyn Workload + Send>>
             let inputs: Vec<CaseInput> = untraced.iter().map(|r| r.input).collect();
             let replica = &mut replicas[workload];
             let started = Instant::now();
-            let outcome = catch_unwind(AssertUnwindSafe(|| replica.run_batch(&inputs)));
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                // Chaos site: a `panic` exercises containment + rebuild;
+                // `return_err` fails every request in the batch with a
+                // workload error, bypassing execution.
+                if failpoint::fire("serve::server::replica_run") {
+                    return inputs
+                        .iter()
+                        .map(|_| Err(injected_replica_error()))
+                        .collect();
+                }
+                replica.run_batch(&inputs)
+            }));
             let service_us = micros_between(started, Instant::now());
             match outcome {
                 Ok(results) => {
@@ -398,6 +445,10 @@ fn worker_loop(shared: &SharedState, mut replicas: Vec<Box<dyn Workload + Send>>
             let started = Instant::now();
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 let _guard = request.scope.enter();
+                // Chaos site: same contract as the batch path above.
+                if failpoint::fire("serve::server::replica_run") {
+                    return Err(injected_replica_error());
+                }
                 replica.run_case(&request.input)
             }));
             let service_us = micros_between(started, Instant::now());
@@ -413,6 +464,12 @@ fn worker_loop(shared: &SharedState, mut replicas: Vec<Box<dyn Workload + Send>>
 
 fn workload_error(error: WorkloadError) -> ServeError {
     ServeError::Workload(error.to_string())
+}
+
+/// The error an armed `serve::server::replica_run` failpoint injects in
+/// place of executing the replica.
+fn injected_replica_error() -> WorkloadError {
+    WorkloadError::Config("failpoint serve::server::replica_run: injected error".to_string())
 }
 
 fn deliver(shared: &SharedState, request: QueuedRequest, response: Response, service_us: u64) {
@@ -444,11 +501,16 @@ fn fail_batch_and_rebuild(
             .record(micros_between(request.submitted_at, Instant::now()));
         request.slot.complete(Err(ServeError::WorkerPanicked));
     }
+    // Chaos site: stretch the rebuild window so more traffic piles onto
+    // the surviving replicas (`delay`/`yield`; `return_err` ignored — the
+    // replica must always be replaced).
+    let _ = failpoint::fire("serve::server::replica_rebuild");
     let mut fresh = (shared.registrations[workload].factory)();
     // A prepare error here is not fatal: the replaced replica reports
     // it per-request via `run_case`'s own prepare path.
     let _ = fresh.prepare();
     *replica = fresh;
+    shared.metrics.rebuilt.incr();
 }
 
 fn micros_between(start: Instant, end: Instant) -> u64 {

@@ -1,0 +1,182 @@
+//! Server lifecycle edges and load-generator determinism.
+//!
+//! - `Server::start` failure path: an injected spawn failure must
+//!   surface as [`StartError::Spawn`] and leave nothing leaked (already
+//!   spawned workers join cleanly).
+//! - Shutdown idempotence: a second `drain`, or a `drain` after an
+//!   `abort`, is a no-op.
+//! - Seeded load generators are pure functions of their arguments:
+//!   identical Poisson schedules and closed-loop request sets across
+//!   runs and worker counts.
+
+use nsai_core::failpoint::FailpointGuard;
+use nsai_serve::loadgen::{closed_loop, poisson_schedule};
+use nsai_serve::{ServeConfig, Server, ShutdownMode, StartError, SubmitError};
+use nsai_tensor::par::with_threads;
+use nsai_workloads::{CaseInput, Workload, WorkloadError, WorkloadOutput};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Failpoints are process-global; tests that arm one (or start servers
+/// whose spawn path has an armed site) must not overlap.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Case-echoing workload: deterministic, instant.
+#[derive(Debug)]
+struct Echo;
+
+impl Workload for Echo {
+    fn name(&self) -> &'static str {
+        "echo"
+    }
+    fn category(&self) -> nsai_core::NsCategory {
+        nsai_core::NsCategory::SymbolicNeuro
+    }
+    fn run_case(&mut self, input: &CaseInput) -> Result<WorkloadOutput, WorkloadError> {
+        let mut out = WorkloadOutput::new();
+        out.set("case", input.case as f64);
+        Ok(out)
+    }
+}
+
+fn echo_server(workers: usize) -> Server {
+    Server::builder(ServeConfig::default().workers(workers).max_batch(4))
+        .register("echo", || Box::new(Echo))
+        .start()
+        .expect("echo server starts")
+}
+
+#[test]
+fn spawn_failure_surfaces_as_start_error_and_cleans_up() {
+    let _s = serial();
+    // First worker spawns fine, the second fails: `start` must abort,
+    // join the survivor, and report the spawn error.
+    let _g = FailpointGuard::arm("serve::server::worker_spawn", "return_err@after1");
+    let result = Server::builder(ServeConfig::default().workers(3))
+        .register("echo", || Box::new(Echo))
+        .start();
+    match result {
+        Err(StartError::Spawn(e)) => {
+            assert!(
+                e.to_string().contains("injected spawn failure"),
+                "unexpected spawn error: {e}"
+            );
+        }
+        Err(other) => panic!("expected StartError::Spawn, got {other}"),
+        Ok(_) => panic!("start succeeded despite injected spawn failure"),
+    }
+    drop(_g);
+    // The failure must not poison the process: a fresh start works.
+    let server = echo_server(2);
+    let out = server
+        .submit_blocking("echo", CaseInput::new(7))
+        .expect("admitted")
+        .wait()
+        .expect("served");
+    assert_eq!(out.metric("case"), Some(7.0));
+    server.shutdown(ShutdownMode::Drain);
+}
+
+#[test]
+fn drain_is_idempotent_and_drain_after_abort_is_a_noop() {
+    let _s = serial();
+    let server = echo_server(2);
+    let ticket = server
+        .submit_blocking("echo", CaseInput::new(1))
+        .expect("admitted");
+    server.shutdown(ShutdownMode::Drain);
+    assert!(ticket.wait().is_ok(), "drain must serve admitted work");
+    // Second drain: no-op, no panic, no hang.
+    server.shutdown(ShutdownMode::Drain);
+    assert_eq!(server.live_workers(), 0);
+    assert!(matches!(
+        server.submit("echo", CaseInput::new(2)),
+        Err(SubmitError::ShuttingDown)
+    ));
+
+    let server = echo_server(2);
+    server.shutdown(ShutdownMode::Abort);
+    // Drain after abort must not resurrect or re-join anything.
+    server.shutdown(ShutdownMode::Drain);
+    server.shutdown(ShutdownMode::Abort);
+    assert_eq!(server.live_workers(), 0);
+    assert!(server.submit("echo", CaseInput::new(3)).is_err());
+}
+
+#[test]
+fn poisson_schedule_is_a_pure_function_of_its_arguments() {
+    let duration = Duration::from_millis(200);
+    for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+        let a = poisson_schedule(250.0, duration, seed);
+        let b = poisson_schedule(250.0, duration, seed);
+        assert_eq!(a, b, "seed {seed}: schedule differs between runs");
+        // Same draw under a different pool width: the generator must not
+        // depend on ambient thread configuration.
+        let c = with_threads(1, || poisson_schedule(250.0, duration, seed));
+        let d = with_threads(4, || poisson_schedule(250.0, duration, seed));
+        assert_eq!(a, c, "seed {seed}: schedule changed under width 1");
+        assert_eq!(a, d, "seed {seed}: schedule changed under width 4");
+        // Shape invariants: strictly increasing, all inside the window,
+        // starting at zero.
+        assert_eq!(a.first(), Some(&Duration::ZERO));
+        for w in a.windows(2) {
+            assert!(w[0] < w[1], "seed {seed}: arrivals not strictly increasing");
+        }
+        assert!(a.iter().all(|t| *t < duration));
+    }
+    assert_ne!(
+        poisson_schedule(250.0, duration, 1),
+        poisson_schedule(250.0, duration, 2),
+        "distinct seeds should give distinct schedules"
+    );
+}
+
+#[test]
+fn closed_loop_request_set_is_identical_across_worker_counts() {
+    let _s = serial();
+    let reference: Vec<(usize, u64, Option<f64>)> = {
+        let server = echo_server(1);
+        let records = closed_loop(&server, "echo", 3, 20, 100);
+        server.shutdown(ShutdownMode::Drain);
+        records
+            .iter()
+            .map(|r| {
+                (
+                    r.client,
+                    r.case,
+                    r.response.as_ref().ok().and_then(|o| o.metric("case")),
+                )
+            })
+            .collect()
+    };
+    assert_eq!(reference.len(), 60);
+    for (client, case, out) in &reference {
+        // Case ids are a pure function of (client, index): contiguous
+        // blocks of 20 starting at 100.
+        assert!(*case >= 100 + (*client as u64) * 20 && *case < 100 + (*client as u64 + 1) * 20);
+        assert_eq!(*out, Some(*case as f64), "case {case} wrong payload");
+    }
+    for workers in [2usize, 4] {
+        let server = echo_server(workers);
+        let records = closed_loop(&server, "echo", 3, 20, 100);
+        server.shutdown(ShutdownMode::Drain);
+        let got: Vec<(usize, u64, Option<f64>)> = records
+            .iter()
+            .map(|r| {
+                (
+                    r.client,
+                    r.case,
+                    r.response.as_ref().ok().and_then(|o| o.metric("case")),
+                )
+            })
+            .collect();
+        assert_eq!(
+            got, reference,
+            "closed-loop record set changed at {workers} workers"
+        );
+    }
+}

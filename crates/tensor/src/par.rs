@@ -45,6 +45,7 @@
 //! racing. The vendored `parking_lot` shim honours the same variable
 //! with a lock-order-cycle (deadlock) detector.
 
+use nsai_core::failpoint;
 use nsai_core::profile::Scope;
 use parking_lot::{Condvar, Mutex};
 use std::cell::Cell;
@@ -169,12 +170,20 @@ fn worker_loop(inner: Arc<Inner>) {
             let _scope = scope.enter();
             IN_PARALLEL.with(|c| c.set(true));
             loop {
+                // Chaos site: a panic here exercises worker-panic
+                // propagation; `return_err` has no error path at a claim
+                // and is ignored.
+                let _ = failpoint::fire("tensor::par::task_claim");
                 let chunk = next.fetch_add(1, Ordering::Relaxed);
                 if chunk >= n_chunks {
                     break;
                 }
                 task(chunk);
             }
+            // Chaos site: perturb the window between finishing chunks and
+            // merging the profiling scope back (`return_err` ignored — the
+            // merge is unconditional).
+            let _ = failpoint::fire("tensor::par::scope_merge");
         }));
         IN_PARALLEL.with(|c| c.set(false));
         let mut slot = inner.slot.lock();
@@ -207,6 +216,13 @@ fn run_pooled(width: usize, n_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
             inner.done.wait(&mut slot);
         }
         while slot.workers < width - 1 {
+            // Chaos site: `return_err` models a failed worker spawn — the
+            // job runs at degraded width and the pool tops itself back up
+            // on the next submission (self-healing, asserted by chaos
+            // tests via `pool_width`).
+            if failpoint::fire("tensor::par::worker_spawn") {
+                break;
+            }
             let inner = Arc::clone(inner);
             std::thread::Builder::new()
                 .name("nsai-par".into())
@@ -257,12 +273,25 @@ fn run_pooled(width: usize, n_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
     }
     let _clear = ClearFlag;
     loop {
+        // Chaos site: the submitting thread claims chunks through the same
+        // site as pool workers (`return_err` ignored — see worker_loop).
+        let _ = failpoint::fire("tensor::par::task_claim");
         let chunk = next.fetch_add(1, Ordering::Relaxed);
         if chunk >= n_chunks {
             break;
         }
         task(chunk);
     }
+}
+
+/// Number of persistent pool workers currently spawned (process-global;
+/// excludes the submitting thread). Grows on demand up to the widest
+/// job seen so far and, after an injected spawn failure (see the
+/// `tensor::par::worker_spawn` failpoint), recovers on the next
+/// submission — chaos tests assert that restoration through this
+/// accessor.
+pub fn pool_width() -> usize {
+    pool().slot.lock().workers
 }
 
 /// Execute `task(0..n_chunks)` with each chunk run exactly once.

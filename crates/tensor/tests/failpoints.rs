@@ -1,0 +1,69 @@
+//! Failpoint behaviour of the parallel engine.
+//!
+//! These tests arm **process-global** failpoints, so they live in their
+//! own integration binary and serialize on a local mutex: a `panic`
+//! armed at `tensor::par::task_claim` would otherwise detonate inside
+//! unrelated tests sharing the process.
+
+use nsai_core::failpoint::FailpointGuard;
+use nsai_tensor::par::{map_chunks, parallel_for, pool_width, with_threads, MAX_THREADS};
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+#[test]
+fn spawn_failpoint_degrades_then_pool_self_heals() {
+    let _s = SERIAL.lock().unwrap();
+    // Ensure some workers exist, then block further spawns.
+    let sum = with_threads(4, || map_chunks(64, 4, |r| r.len()).iter().sum::<usize>());
+    assert_eq!(sum, 64);
+    let want = (pool_width() + 2).min(MAX_THREADS);
+    {
+        let _g = FailpointGuard::arm("tensor::par::worker_spawn", "return_err");
+        // The job must still complete correctly at degraded width.
+        let sum = with_threads(want, || {
+            map_chunks(97, 5, |r| r.len()).iter().sum::<usize>()
+        });
+        assert_eq!(sum, 97);
+    }
+    // Disarmed: the next submission tops the pool back up to full width.
+    let sum = with_threads(want, || {
+        map_chunks(64, 1, |r| r.len()).iter().sum::<usize>()
+    });
+    assert_eq!(sum, 64);
+    assert!(
+        pool_width() >= want - 1,
+        "pool width {} not restored to {}",
+        pool_width(),
+        want - 1
+    );
+}
+
+#[test]
+fn task_claim_panic_propagates_and_pool_survives() {
+    let _s = SERIAL.lock().unwrap();
+    let result = std::panic::catch_unwind(|| {
+        let _g = FailpointGuard::arm("tensor::par::task_claim", "panic@1in5");
+        with_threads(4, || {
+            parallel_for(64, &|_| {});
+        });
+    });
+    assert!(result.is_err(), "injected claim panic must propagate");
+    // The pool must remain fully usable after the injected death.
+    let partials = with_threads(4, || map_chunks(64, 4, |r| r.len()));
+    assert_eq!(partials.iter().sum::<usize>(), 64);
+}
+
+#[test]
+fn delay_and_yield_failpoints_do_not_change_results() {
+    let _s = SERIAL.lock().unwrap();
+    let baseline = with_threads(4, || map_chunks(257, 8, |r| r.start * 31 + r.end));
+    let _g = FailpointGuard::arm_many(
+        "tensor::par::task_claim=yield@1in3;tensor::par::scope_merge=delay(200)",
+    );
+    let perturbed = with_threads(4, || map_chunks(257, 8, |r| r.start * 31 + r.end));
+    assert_eq!(
+        baseline, perturbed,
+        "chaos scheduling must not change output"
+    );
+}

@@ -1,0 +1,190 @@
+//! Property-based differential tests: parallel kernels vs serial naive
+//! references.
+//!
+//! The parallel engine's contract is *bitwise* width-invariance: chunk
+//! decomposition is fixed by grain constants, never by pool width, so a
+//! kernel at any width must reproduce the plain serial loop exactly.
+//! Each property here draws a random shape and a random pool width and
+//! checks the kernel against a hand-written naive reference implementing
+//! the same arithmetic order — not against the kernel itself — so a bug
+//! that corrupts *every* width equally (which width-vs-width comparisons
+//! cannot see) still fails.
+
+use nsai_tensor::ops::conv::Conv2dParams;
+use nsai_tensor::par::with_threads;
+use nsai_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Naive i-k-j matmul with the kernel's zero-skip, matching its
+/// per-element accumulation order exactly.
+fn naive_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out[i * n + j] += aip * b[p * n + j];
+            }
+        }
+    }
+    out
+}
+
+/// Naive direct convolution in the kernel's ci-ky-kx accumulation order.
+#[allow(clippy::too_many_arguments)]
+fn naive_conv2d(
+    input: &[f32],
+    weight: &[f32],
+    bias: Option<&[f32]>,
+    (n, c_in, h, w): (usize, usize, usize, usize),
+    (c_out, kh, kw): (usize, usize, usize),
+    stride: usize,
+    padding: usize,
+) -> Vec<f32> {
+    let oh = (h + 2 * padding - kh) / stride + 1;
+    let ow = (w + 2 * padding - kw) / stride + 1;
+    let mut out = vec![0.0f32; n * c_out * oh * ow];
+    let pad = padding as isize;
+    for b_i in 0..n {
+        for co in 0..c_out {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias.map(|b| b[co]).unwrap_or(0.0);
+                    for ci in 0..c_in {
+                        for ky in 0..kh {
+                            let iy = (oy * stride + ky) as isize - pad;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * stride + kx) as isize - pad;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let in_idx =
+                                    ((b_i * c_in + ci) * h + iy as usize) * w + ix as usize;
+                                let w_idx = ((co * c_in + ci) * kh + ky) * kw + kx;
+                                acc += input[in_idx] * weight[w_idx];
+                            }
+                        }
+                    }
+                    out[((b_i * c_out + co) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Sparse-ish random tensor: `rand_uniform` then a deterministic zero
+/// mask, so the matmul zero-skip path is exercised.
+fn tensor_with_zeros(dims: &[usize], seed: u64) -> Tensor {
+    let mut t = Tensor::rand_uniform(dims, -1.0, 1.0, seed);
+    for (i, v) in t.data_mut().iter_mut().enumerate() {
+        if (i.wrapping_mul(2654435761) >> 28) % 5 == 0 {
+            *v = 0.0;
+        }
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_matches_naive_reference_at_every_width(
+        m in 1usize..12, k in 1usize..12, n in 1usize..12,
+        width in 1usize..=7, seed in 0u64..1000,
+    ) {
+        let a = tensor_with_zeros(&[m, k], seed);
+        let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, seed ^ 0xABCD);
+        let reference = naive_matmul(a.data(), b.data(), m, k, n);
+        let serial = with_threads(1, || a.matmul(&b)).unwrap();
+        let parallel = with_threads(width, || a.matmul(&b)).unwrap();
+        prop_assert_eq!(serial.data(), &reference[..], "serial != naive");
+        prop_assert_eq!(parallel.data(), &reference[..],
+            "width {} != naive", width);
+    }
+
+    #[test]
+    fn conv2d_matches_naive_reference_at_every_width(
+        batch in 1usize..3, c_in in 1usize..4, c_out in 1usize..5,
+        h in 3usize..9, w in 3usize..9,
+        kh in 1usize..4, kw in 1usize..4,
+        stride in 1usize..3, padding in 0usize..2,
+        width in 1usize..=7, seed in 0u64..1000,
+    ) {
+        // Kernel always fits: kh, kw <= 3 while h, w >= 3.
+        let input = Tensor::rand_uniform(&[batch, c_in, h, w], -1.0, 1.0, seed);
+        let weight = Tensor::rand_uniform(&[c_out, c_in, kh, kw], -1.0, 1.0, seed ^ 0x77);
+        let bias = Tensor::rand_uniform(&[c_out], -0.5, 0.5, seed ^ 0x99);
+        let params = Conv2dParams { stride, padding };
+        let reference = naive_conv2d(
+            input.data(), weight.data(), Some(bias.data()),
+            (batch, c_in, h, w), (c_out, kh, kw), stride, padding,
+        );
+        let parallel =
+            with_threads(width, || input.conv2d(&weight, Some(&bias), params)).unwrap();
+        prop_assert_eq!(parallel.data(), &reference[..], "width {} != naive", width);
+        // The im2col lowering must agree with the direct kernel too
+        // (same contract, different decomposition — allow float slack
+        // because its GEMM accumulates in a different order).
+        let lowered =
+            with_threads(width, || input.conv2d_im2col(&weight, Some(&bias), params)).unwrap();
+        for (i, (a, b)) in lowered.data().iter().zip(&reference).enumerate() {
+            prop_assert!((a - b).abs() <= 1e-4 * b.abs().max(1.0),
+                "im2col diverged at {}: {} vs {}", i, a, b);
+        }
+    }
+
+    #[test]
+    fn elementwise_and_relu_match_naive_at_every_width(
+        len in 1usize..2000, width in 1usize..=7, seed in 0u64..1000,
+    ) {
+        let a = Tensor::rand_uniform(&[len], -2.0, 2.0, seed);
+        let b = Tensor::rand_uniform(&[len], -2.0, 2.0, seed ^ 0x5A5A);
+        let (sum, prod, rect) = with_threads(width, || {
+            (a.add(&b).unwrap(), a.mul(&b).unwrap(), a.relu())
+        });
+        for i in 0..len {
+            let (x, y) = (a.data()[i], b.data()[i]);
+            prop_assert_eq!(sum.data()[i], x + y);
+            prop_assert_eq!(prod.data()[i], x * y);
+            prop_assert_eq!(rect.data()[i], x.max(0.0));
+        }
+    }
+
+    #[test]
+    fn reductions_match_single_pass_loops_at_every_width(
+        len in 1usize..3000, width in 1usize..=7, seed in 0u64..1000,
+    ) {
+        // Below REDUCE_GRAIN (64 Ki elements) the chunked reduction is a
+        // single chunk: exactly the classic single-pass loop, at every
+        // width.
+        let t = Tensor::rand_uniform(&[len], -1.0, 1.0, seed);
+        let naive_sum: f32 = t.data().iter().sum();
+        let naive_max = t.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let (sum, mean, max) = with_threads(width, || (t.sum(), t.mean(), t.max()));
+        prop_assert_eq!(sum, naive_sum);
+        prop_assert_eq!(mean, naive_sum / len as f32);
+        prop_assert_eq!(max, naive_max);
+    }
+
+    #[test]
+    fn results_are_bitwise_identical_across_all_widths(
+        m in 1usize..10, k in 1usize..10, n in 1usize..10, seed in 0u64..1000,
+    ) {
+        // Width-invariance across the whole sweep, not just width-vs-naive:
+        // any two pool widths must agree bit for bit.
+        let a = tensor_with_zeros(&[m, k], seed);
+        let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, seed ^ 0x1234);
+        let baseline = with_threads(1, || a.matmul(&b)).unwrap();
+        for width in 2..=7 {
+            let out = with_threads(width, || a.matmul(&b)).unwrap();
+            prop_assert_eq!(out.data(), baseline.data(), "width {} diverged", width);
+        }
+    }
+}

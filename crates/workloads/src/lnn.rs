@@ -483,6 +483,10 @@ impl Workload for Lnn {
     /// stay bitwise-equal to per-case runs while the symbolic chase cost
     /// is paid once.
     fn run_batch(&mut self, inputs: &[CaseInput]) -> Vec<Result<WorkloadOutput, WorkloadError>> {
+        if let Some(failed) = crate::workload::batch_failpoint("workloads::lnn::run_batch", inputs)
+        {
+            return failed;
+        }
         if inputs.len() <= 1 {
             return inputs.iter().map(|i| self.run_case(i)).collect();
         }

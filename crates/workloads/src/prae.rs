@@ -537,6 +537,10 @@ impl Workload for Prae {
     /// backend then runs per problem on bitwise-identical PMF slices, so
     /// each output matches the corresponding `run_case` exactly.
     fn run_batch(&mut self, inputs: &[CaseInput]) -> Vec<Result<WorkloadOutput, WorkloadError>> {
+        if let Some(failed) = crate::workload::batch_failpoint("workloads::prae::run_batch", inputs)
+        {
+            return failed;
+        }
         if inputs.len() <= 1 || self.prepare().is_err() {
             return inputs.iter().map(|i| self.run_case(i)).collect();
         }

@@ -4,6 +4,30 @@ use crate::error::WorkloadError;
 use nsai_core::taxonomy::NsCategory;
 use std::collections::BTreeMap;
 
+/// Shared failpoint entry for `run_batch` implementations: when `site`
+/// is armed with `return_err`, the whole batch fails with a config-level
+/// error instead of executing (a `panic` action unwinds from here and is
+/// contained by the serving layer's `catch_unwind`). `None` means
+/// proceed normally — the disabled cost is one relaxed atomic load.
+pub(crate) fn batch_failpoint(
+    site: &str,
+    inputs: &[CaseInput],
+) -> Option<Vec<Result<WorkloadOutput, WorkloadError>>> {
+    if nsai_core::failpoint::fire(site) {
+        return Some(
+            inputs
+                .iter()
+                .map(|_| {
+                    Err(WorkloadError::Config(format!(
+                        "failpoint {site}: injected batch error"
+                    )))
+                })
+                .collect(),
+        );
+    }
+    None
+}
+
 /// Named scalar results of a workload run (accuracy, satisfaction,
 /// similarity scores, ...).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -141,6 +165,9 @@ pub trait Workload: std::fmt::Debug {
     /// output bitwise-identical to the corresponding `run_case` result:
     /// batching is a scheduling optimization, never a semantic one.
     fn run_batch(&mut self, inputs: &[CaseInput]) -> Vec<Result<WorkloadOutput, WorkloadError>> {
+        if let Some(failed) = batch_failpoint("workloads::workload::run_batch", inputs) {
+            return failed;
+        }
         inputs.iter().map(|input| self.run_case(input)).collect()
     }
 }
