@@ -45,6 +45,9 @@ pub struct RuleConfig {
     /// `failpoint-hygiene`: the failpoint sites registered for the
     /// workspace).
     pub sites: Vec<String>,
+    /// Rule-specific manifest file (used by `perf-suite-coverage`: the
+    /// workspace-relative path of the perf suite's workload manifest).
+    pub manifest: String,
 }
 
 impl Default for RuleConfig {
@@ -54,6 +57,7 @@ impl Default for RuleConfig {
             allow_paths: Vec::new(),
             paths: Vec::new(),
             sites: Vec::new(),
+            manifest: String::new(),
         }
     }
 }
@@ -196,6 +200,7 @@ fn apply(
                 "allow" => entry.allow_paths = parse_string_array(value, lineno)?,
                 "paths" => entry.paths = parse_string_array(value, lineno)?,
                 "sites" => entry.sites = parse_string_array(value, lineno)?,
+                "manifest" => entry.manifest = parse_string(value, lineno)?,
                 _ => {
                     return Err(ConfigError {
                         line: lineno,
@@ -324,6 +329,18 @@ allow = [
         assert_eq!(det.allow_paths.len(), 2);
         // Unmentioned rules default to deny with no allowlist.
         assert_eq!(cfg.rule("panic-hygiene").severity, Severity::Deny);
+    }
+
+    #[test]
+    fn parses_rule_manifest_key() {
+        let src = "[rules.perf-suite-coverage]\nmanifest = \"crates/bench/src/perf/suite.rs\"\n";
+        let cfg = Config::parse(src).expect("parse");
+        assert_eq!(
+            cfg.rule("perf-suite-coverage").manifest,
+            "crates/bench/src/perf/suite.rs"
+        );
+        // Unset on every other rule.
+        assert!(cfg.rule("determinism").manifest.is_empty());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! | `scope-coverage`        | public kernels report to the profiler              |
 //! | `panic-hygiene`         | no `unwrap`/`panic!` on the serving hot path       |
 //! | `failpoint-hygiene`     | failpoint sites are registered in `lint.toml`      |
+//! | `perf-suite-coverage`   | every workload appears in the perf suite manifest  |
 //!
 //! Any rule can be waived inline with
 //! `// nsai-lint: allow(<rule>): <justification>` — the justification is
@@ -53,6 +54,7 @@ pub const RULES: &[&str] = &[
     "scope-coverage",
     "panic-hygiene",
     "failpoint-hygiene",
+    "perf-suite-coverage",
 ];
 
 /// Analyze a set of scanned files. `files` holds workspace-relative
@@ -88,6 +90,7 @@ pub fn analyze(files: &[(String, String)], config: &Config) -> Vec<Finding> {
     }
     check_scope_coverage(&scanned, config, &mut findings);
     check_failpoint_registry_staleness(&seen_sites, config, &mut findings);
+    check_perf_suite_coverage(files, &scanned, config, &mut findings);
 
     findings.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
     findings
@@ -545,6 +548,204 @@ fn extract_site_literal(raw: &str, token: &str) -> Option<String> {
     Some(body[..close].to_string())
 }
 
+/// All `"…"` string literals on a raw source line, in order, stopping
+/// at a `//` comment outside a string. Raw lines are required because
+/// the lexer blanks string contents in [`Line::code`].
+fn string_literals(raw: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut buf = String::new();
+    let mut in_lit = false;
+    let mut chars = raw.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_lit {
+            match c {
+                '"' => {
+                    out.push(std::mem::take(&mut buf));
+                    in_lit = false;
+                }
+                '\\' => {
+                    buf.push('\\');
+                    if let Some(escaped) = chars.next() {
+                        buf.push(escaped);
+                    }
+                }
+                _ => buf.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_lit = true,
+                '/' if chars.peek() == Some(&'/') => break,
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// `perf-suite-coverage`: every workload registered under the rule's
+/// `paths` must appear in the perf suite's workload manifest — the
+/// `WORKLOAD_SUITE` const in the rule's `manifest` file — so a new
+/// workload cannot land without continuous-characterization coverage.
+/// A workload is a bodied, non-test `fn name` declaration whose first
+/// string literal is the registry name (the `Workload::name` impl);
+/// the bodyless trait signature is skipped. Manifest entries naming no
+/// registered workload are stale — they promise coverage the suite no
+/// longer delivers — and are reported against the manifest file.
+fn check_perf_suite_coverage(
+    files: &[(String, String)],
+    scanned: &[(String, Vec<Line>, Waivers)],
+    config: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    let rule = config.rule("perf-suite-coverage");
+    if rule.severity == Severity::Allow || rule.paths.is_empty() || rule.manifest.is_empty() {
+        return;
+    }
+
+    // Manifest side: the string literals of the `WORKLOAD_SUITE` const.
+    let Some((_, manifest_source)) = files.iter().find(|(p, _)| *p == rule.manifest) else {
+        findings.push(Finding {
+            path: rule.manifest.clone(),
+            line: 1,
+            rule: "perf-suite-coverage".to_string(),
+            severity: rule.severity,
+            message: format!(
+                "perf suite manifest `{}` is not in the scanned file set — \
+                 moved or deleted? update [rules.perf-suite-coverage] in \
+                 lint.toml",
+                rule.manifest
+            ),
+        });
+        return;
+    };
+    let mut manifest_names: Vec<(String, usize)> = Vec::new();
+    let mut in_array = false;
+    let mut closed = false;
+    for (idx, raw) in manifest_source.lines().enumerate() {
+        if !in_array {
+            if raw.trim_start().starts_with("//")
+                || !raw.contains("WORKLOAD_SUITE")
+                || !raw.contains("const")
+            {
+                continue;
+            }
+            in_array = true;
+        }
+        for literal in string_literals(raw) {
+            manifest_names.push((literal, idx));
+        }
+        if raw.contains("];") {
+            closed = true;
+            break;
+        }
+    }
+    if !closed {
+        findings.push(Finding {
+            path: rule.manifest.clone(),
+            line: 1,
+            rule: "perf-suite-coverage".to_string(),
+            severity: rule.severity,
+            message: format!(
+                "perf suite manifest `{}` has no terminated `const \
+                 WORKLOAD_SUITE` array — the coverage check has nothing to \
+                 verify against",
+                rule.manifest
+            ),
+        });
+        return;
+    }
+
+    // Workload side: bodied, non-test `fn name` declarations under the
+    // rule's paths; the first string literal in the body is the
+    // registry name (read from raw lines — `Line::code` blanks it).
+    struct Registered {
+        name: String,
+        file: usize,
+        decl_idx: usize,
+        waived: bool,
+    }
+    let mut registered: Vec<Registered> = Vec::new();
+    for (file_idx, (path, lines, waivers)) in scanned.iter().enumerate() {
+        if !applies(&rule, path) {
+            continue;
+        }
+        let raw_lines: Vec<&str> = files[file_idx].1.lines().collect();
+        for (idx, line) in lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            let Some((decl_name, _)) = fn_decl(&line.code) else {
+                continue;
+            };
+            if decl_name != "name" || !fn_has_body(lines, idx) {
+                continue; // not a registry accessor, or a bodyless trait signature
+            }
+            let sig_depth = line.depth_start;
+            let mut found = None;
+            for body_idx in idx..lines.len() {
+                if body_idx > idx && lines[body_idx - 1].depth_end <= sig_depth {
+                    break; // the body closed on a previous line
+                }
+                if let Some(literal) = raw_lines
+                    .get(body_idx)
+                    .map(|raw| string_literals(raw))
+                    .and_then(|lits| lits.into_iter().next())
+                {
+                    found = Some(literal);
+                    break;
+                }
+            }
+            if let Some(name) = found {
+                registered.push(Registered {
+                    name,
+                    file: file_idx,
+                    decl_idx: idx,
+                    waived: waivers.waived(idx, "perf-suite-coverage"),
+                });
+            }
+        }
+    }
+
+    let manifest_set: BTreeSet<&str> = manifest_names.iter().map(|(n, _)| n.as_str()).collect();
+    let registered_set: BTreeSet<&str> = registered.iter().map(|r| r.name.as_str()).collect();
+
+    for reg in &registered {
+        if manifest_set.contains(reg.name.as_str()) || reg.waived {
+            continue;
+        }
+        let (path, _, _) = &scanned[reg.file];
+        push(
+            findings,
+            path,
+            reg.decl_idx,
+            "perf-suite-coverage",
+            rule.severity,
+            format!(
+                "workload `{}` is missing from the perf suite manifest \
+                 (`WORKLOAD_SUITE` in {}) — add it so the continuous \
+                 characterization baseline measures it, or waive this line",
+                reg.name, rule.manifest
+            ),
+        );
+    }
+    for (name, idx) in &manifest_names {
+        if !registered_set.contains(name.as_str()) {
+            push(
+                findings,
+                &rule.manifest,
+                *idx,
+                "perf-suite-coverage",
+                rule.severity,
+                format!(
+                    "perf suite manifest entry `{name}` names no workload \
+                     registered under the configured paths — remove the stale \
+                     entry or restore the workload"
+                ),
+            );
+        }
+    }
+}
+
 /// `scope-coverage`: every `pub fn` in the configured kernel paths must
 /// open a profiler scope or taxonomy event — directly (`run_op`,
 /// `time_op`, `profile::record`, …) or by delegating to another public
@@ -673,6 +874,24 @@ fn fn_decl(code: &str) -> Option<(String, bool)> {
         .take_while(|c| c.is_alphanumeric() || *c == '_')
         .collect();
     (!name.is_empty()).then_some((name, is_pub))
+}
+
+/// Does the `fn` declared at `decl_idx` have a body? A `{` before the
+/// first `;` (scanning from the declaration, past multi-line
+/// signatures) means yes; a `;` first is a bodyless trait signature.
+/// Unlike [`fn_body`], this also recognizes single-line bodies
+/// (`fn name(&self) -> &'static str { "lnn" }`).
+fn fn_has_body(lines: &[Line], decl_idx: usize) -> bool {
+    for line in &lines[decl_idx..] {
+        for c in line.code.chars() {
+            match c {
+                '{' => return true,
+                ';' => return false,
+                _ => {}
+            }
+        }
+    }
+    false
 }
 
 /// The body text of the fn declared at `decl_idx`: from its opening
@@ -849,5 +1068,90 @@ mod tests {
         assert_eq!(findings[0].severity, Severity::Warn);
         let toml = "[rules.determinism]\nseverity = \"allow\"\n";
         assert!(run("a.rs", src, toml).is_empty());
+    }
+
+    #[test]
+    fn string_literals_reads_raw_lines_and_stops_at_comments() {
+        assert_eq!(
+            string_literals(r#"&["lnn", "ltn"]; // "not this one""#),
+            vec!["lnn", "ltn"]
+        );
+        assert_eq!(string_literals("// \"comment only\""), Vec::<String>::new());
+        assert_eq!(string_literals("no strings here"), Vec::<String>::new());
+        assert_eq!(string_literals(r#""esc\"aped""#), vec![r#"esc\"aped"#]);
+    }
+
+    const SUITE_TOML: &str = "[rules.perf-suite-coverage]\n\
+                              paths = [\"workloads/\"]\n\
+                              manifest = \"bench/suite.rs\"\n";
+
+    fn suite_files(manifest: &str, workload: &str) -> Vec<(String, String)> {
+        vec![
+            ("bench/suite.rs".to_string(), manifest.to_string()),
+            ("workloads/lnn.rs".to_string(), workload.to_string()),
+        ]
+    }
+
+    #[test]
+    fn unmanifested_workload_and_stale_entry_are_both_reported() {
+        let config = Config::parse(SUITE_TOML).expect("config");
+        let manifest = "pub const WORKLOAD_SUITE: &[&str] = &[\"ltn\"];\n";
+        let workload = "impl Workload for Lnn {\n    fn name(&self) -> &'static str {\n        \"lnn\"\n    }\n}\n";
+        let findings = analyze(&suite_files(manifest, workload), &config);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        // Stale entry, reported against the manifest file at the const.
+        assert_eq!(findings[0].path, "bench/suite.rs");
+        assert_eq!(findings[0].line, 1);
+        assert!(findings[0].message.contains("`ltn`"), "{findings:?}");
+        // Missing workload, reported at the `fn name` declaration.
+        assert_eq!(findings[1].path, "workloads/lnn.rs");
+        assert_eq!(findings[1].line, 2);
+        assert!(findings[1].message.contains("`lnn`"), "{findings:?}");
+    }
+
+    #[test]
+    fn manifested_workloads_trait_sigs_and_tests_are_clean() {
+        let config = Config::parse(SUITE_TOML).expect("config");
+        // Multi-line manifest array, single-line fn, bodyless trait
+        // signature, and an in-test impl: all fine.
+        let manifest = "pub const WORKLOAD_SUITE: &[&str] = &[\n    \"lnn\", // phased\n];\n";
+        let workload = "pub trait Workload {\n    fn name(&self) -> &'static str;\n}\n\
+                        impl Workload for Lnn {\n    fn name(&self) -> &'static str { \"lnn\" }\n}\n\
+                        #[cfg(test)]\nmod tests {\n    struct Echo;\n    impl Workload for Echo {\n        fn name(&self) -> &'static str { \"echo\" }\n    }\n}\n";
+        let findings = analyze(&suite_files(manifest, workload), &config);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn missing_or_markerless_manifest_is_itself_a_finding() {
+        let config = Config::parse(SUITE_TOML).expect("config");
+        let workload =
+            "impl Workload for Lnn {\n    fn name(&self) -> &'static str { \"lnn\" }\n}\n";
+        let findings = analyze(
+            &[("workloads/lnn.rs".to_string(), workload.to_string())],
+            &config,
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].path, "bench/suite.rs");
+        assert!(findings[0].message.contains("not in the scanned file set"));
+
+        let findings = analyze(&suite_files("pub fn unrelated() {}\n", workload), &config);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0].message.contains("WORKLOAD_SUITE"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn suite_coverage_is_inert_without_manifest_or_paths() {
+        let workload =
+            "impl Workload for Lnn {\n    fn name(&self) -> &'static str { \"lnn\" }\n}\n";
+        // No [rules.perf-suite-coverage] section at all: nothing runs.
+        assert!(run("workloads/lnn.rs", workload, "").is_empty());
+        // Severity allow disables it even when configured.
+        let toml = "[rules.perf-suite-coverage]\nseverity = \"allow\"\n\
+                    paths = [\"workloads/\"]\nmanifest = \"bench/suite.rs\"\n";
+        assert!(run("workloads/lnn.rs", workload, toml).is_empty());
     }
 }

@@ -331,6 +331,138 @@ fn variable_site_plumbing_and_cold_paths_are_not_flagged() {
     assert!(run(&failpoint_config(), &[("cold/probe.rs", cold)]).is_empty());
 }
 
+// ---------------------------------------------------- perf-suite-coverage
+
+/// Config mirroring the workspace shape: workloads under `workloads/`,
+/// the suite manifest at `bench/suite.rs`.
+fn suite_config() -> Config {
+    Config::parse(
+        "[rules.perf-suite-coverage]\n\
+         paths = [\"workloads/\"]\n\
+         manifest = \"bench/suite.rs\"\n",
+    )
+    .expect("config")
+}
+
+const SUITE_MANIFEST: &str = "pub const WORKLOAD_SUITE: &[&str] = &[\"lnn\", \"nvsa\"];\n";
+
+#[test]
+fn workload_missing_from_the_perf_manifest_is_reported() {
+    let workload = "impl Workload for Zeroc {\n    fn name(&self) -> &'static str {\n        \"zeroc\"\n    }\n}\n";
+    let findings = run(
+        &suite_config(),
+        &[
+            ("bench/suite.rs", SUITE_MANIFEST),
+            (
+                "workloads/lnn.rs",
+                "impl Workload for Lnn {\n    fn name(&self) -> &'static str { \"lnn\" }\n}\n",
+            ),
+            (
+                "workloads/nvsa.rs",
+                "impl Workload for Nvsa {\n    fn name(&self) -> &'static str { \"nvsa\" }\n}\n",
+            ),
+            ("workloads/zeroc.rs", workload),
+        ],
+    );
+    assert_eq!(rule_names(&findings), vec!["perf-suite-coverage"]);
+    assert_eq!(findings[0].path, "workloads/zeroc.rs");
+    assert_eq!(findings[0].line, 2);
+    assert!(findings[0].message.contains("zeroc"), "{findings:?}");
+}
+
+#[test]
+fn fully_manifested_workload_set_is_clean() {
+    let findings = run(
+        &suite_config(),
+        &[
+            ("bench/suite.rs", SUITE_MANIFEST),
+            (
+                "workloads/lnn.rs",
+                "impl Workload for Lnn {\n    fn name(&self) -> &'static str { \"lnn\" }\n}\n",
+            ),
+            (
+                "workloads/nvsa.rs",
+                "impl Workload for Nvsa {\n    fn name(&self) -> &'static str { \"nvsa\" }\n}\n",
+            ),
+        ],
+    );
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn stale_perf_manifest_entry_is_reported_against_the_manifest() {
+    let findings = run(
+        &suite_config(),
+        &[
+            ("bench/suite.rs", SUITE_MANIFEST),
+            (
+                "workloads/lnn.rs",
+                "impl Workload for Lnn {\n    fn name(&self) -> &'static str { \"lnn\" }\n}\n",
+            ),
+        ],
+    );
+    assert_eq!(rule_names(&findings), vec!["perf-suite-coverage"]);
+    assert_eq!(findings[0].path, "bench/suite.rs");
+    assert!(findings[0].message.contains("nvsa"), "{findings:?}");
+    assert!(findings[0].message.contains("stale"), "{findings:?}");
+}
+
+#[test]
+fn experimental_workload_can_waive_suite_coverage() {
+    let workload = "impl Workload for Probe {\n    // nsai-lint: allow(perf-suite-coverage): experimental, joins the suite once its phases settle.\n    fn name(&self) -> &'static str { \"probe\" }\n}\n";
+    let findings = run(
+        &suite_config(),
+        &[
+            ("bench/suite.rs", SUITE_MANIFEST),
+            (
+                "workloads/lnn.rs",
+                "impl Workload for Lnn {\n    fn name(&self) -> &'static str { \"lnn\" }\n}\n",
+            ),
+            (
+                "workloads/nvsa.rs",
+                "impl Workload for Nvsa {\n    fn name(&self) -> &'static str { \"nvsa\" }\n}\n",
+            ),
+            ("workloads/probe.rs", workload),
+        ],
+    );
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn suite_coverage_ignores_trait_signatures_and_test_impls() {
+    let decls = "pub trait Workload {\n    fn name(&self) -> &'static str;\n}\n\
+                 #[cfg(test)]\nmod tests {\n    struct Echo;\n    impl Workload for Echo {\n        fn name(&self) -> &'static str { \"echo\" }\n    }\n}\n";
+    let findings = run(
+        &suite_config(),
+        &[
+            ("bench/suite.rs", SUITE_MANIFEST),
+            (
+                "workloads/lnn.rs",
+                "impl Workload for Lnn {\n    fn name(&self) -> &'static str { \"lnn\" }\n}\n",
+            ),
+            (
+                "workloads/nvsa.rs",
+                "impl Workload for Nvsa {\n    fn name(&self) -> &'static str { \"nvsa\" }\n}\n",
+            ),
+            ("workloads/workload.rs", decls),
+        ],
+    );
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn missing_perf_manifest_file_is_a_finding() {
+    let findings = run(
+        &suite_config(),
+        &[(
+            "workloads/lnn.rs",
+            "impl Workload for Lnn {\n    fn name(&self) -> &'static str { \"lnn\" }\n}\n",
+        )],
+    );
+    assert_eq!(rule_names(&findings), vec!["perf-suite-coverage"]);
+    assert_eq!(findings[0].path, "bench/suite.rs");
+}
+
 // -------------------------------------------------------------- reporting
 
 #[test]

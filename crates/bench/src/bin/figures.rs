@@ -10,6 +10,7 @@
 //! into `results/`. Unknown exhibits abort before anything runs, with a
 //! non-zero exit status. `--list` prints the valid exhibit names.
 
+use nsai_bench::cli::Cli;
 use nsai_bench::CharacterizationSet;
 use nsai_bench::{fig2a, fig2b, fig2c, fig3a, fig3b, fig3c, fig4, fig5, rec6, tab1, tab4};
 use std::fs;
@@ -37,8 +38,14 @@ const EXHIBITS: [&str; 11] = [
     "2a", "2b", "2c", "3a", "3b", "3c", "4", "5", "tab1", "tab4", "rec6",
 ];
 
+const USAGE: &str = "figures [--list] [EXHIBIT...]";
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cli = Cli::from_env(USAGE);
+    let mut args: Vec<String> = Vec::new();
+    while let Some(arg) = cli.next_arg() {
+        args.push(arg);
+    }
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "figures — regenerate the ISPASS 2024 tables and figures\n\n\
@@ -65,8 +72,7 @@ fn main() {
         for exhibit in &unknown {
             eprintln!("error: unknown exhibit `{exhibit}`");
         }
-        eprintln!("valid exhibits: {} (or `all`)", EXHIBITS.join(" "));
-        std::process::exit(2);
+        cli.bail(format!("valid exhibits: {} (or `all`)", EXHIBITS.join(" ")));
     }
     let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         EXHIBITS.iter().map(|s| s.to_string()).collect()

@@ -21,6 +21,7 @@
 //! outputs are too. Wall-clock figures (latency, throughput) naturally
 //! vary with the host.
 
+use nsai_bench::cli::Cli;
 use nsai_serve::loadgen::{closed_loop, open_loop_poisson, OpenLoopRun};
 use nsai_serve::{MetricsSnapshot, ServeConfig, Server, ShutdownMode};
 use nsai_workloads::perception::PerceptionMode;
@@ -435,41 +436,37 @@ fn run_sweep(name: &str, factory: &Factory, capacity_rps: f64, duration: Duratio
     }
 }
 
+const USAGE: &str = "serve [--duration-ms N] [--workloads lnn,nvsa,prae]";
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cli = Cli::from_env(USAGE);
     let mut duration_ms: u64 = 500;
     let mut workloads: Vec<String> = vec!["lnn".into(), "nvsa".into(), "prae".into()];
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
+    while let Some(arg) = cli.next_arg() {
         match arg.as_str() {
             "--duration-ms" => {
-                duration_ms = iter
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--duration-ms takes an integer");
+                duration_ms = cli.parsed("--duration-ms").unwrap_or_else(|e| cli.bail(e));
             }
             "--workloads" => {
-                workloads = iter
-                    .next()
-                    .expect("--workloads takes a comma-separated list")
-                    .split(',')
-                    .map(|s| s.trim().to_string())
-                    .collect();
+                workloads = cli.list("--workloads").unwrap_or_else(|e| cli.bail(e));
             }
             "--help" | "-h" => {
                 println!(
                     "serve — latency–throughput characterization of nsai-serve\n\n\
-                     usage: serve [--duration-ms N] [--workloads lnn,nvsa,prae]\n\n\
+                     usage: {USAGE}\n\n\
                      Sweeps open-loop Poisson load at {LOAD_MULTIPLIERS:?}x the\n\
                      calibrated capacity, batched and unbatched, and writes\n\
                      results/serve_report.json."
                 );
                 return;
             }
-            other => {
-                eprintln!("error: unknown argument `{other}` (see --help)");
-                std::process::exit(2);
-            }
+            other => cli.unknown(other),
+        }
+    }
+    // Validate the whole workload list before the (slow) sweeps start.
+    for name in &workloads {
+        if factory_for(name).is_none() {
+            cli.bail(format!("unknown workload `{name}` (valid: lnn nvsa prae)"));
         }
     }
     let duration = Duration::from_millis(duration_ms);
@@ -477,10 +474,7 @@ fn main() {
     let mut reports = Vec::new();
     let mut total_errors = 0u64;
     for name in &workloads {
-        let Some(factory) = factory_for(name) else {
-            eprintln!("error: unknown workload `{name}` (valid: lnn nvsa prae)");
-            std::process::exit(2);
-        };
+        let factory = factory_for(name).expect("validated above");
         eprintln!("calibrating {name}...");
         let service_us = calibrate_service_us(&factory);
         let capacity_rps = WORKERS as f64 * 1e6 / service_us;

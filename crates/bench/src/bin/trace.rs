@@ -10,28 +10,40 @@
 //! <https://ui.perfetto.dev> to inspect the neural/symbolic timeline — the
 //! interactive counterpart of the paper's Fig. 4.
 
+use nsai_bench::cli::Cli;
 use nsai_bench::profiled_run;
 use nsai_core::export::to_chrome_trace;
 use nsai_workloads::{all_workloads_small, Workload};
 use std::fs;
 
+const USAGE: &str = "trace <lnn|ltn|nvsa|nlm|vsait|zeroc|prae> [out.json]";
+
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let Some(name) = args.next() else {
-        eprintln!("usage: trace <lnn|ltn|nvsa|nlm|vsait|zeroc|prae> [out.json]");
-        std::process::exit(2);
+    let mut cli = Cli::from_env(USAGE);
+    let Some(name) = cli.next_arg() else {
+        cli.bail("missing workload name");
     };
-    let out_path = args
-        .next()
+    if name == "--help" || name == "-h" {
+        println!(
+            "trace — export one workload's profiled run as a Chrome trace\n\n\
+             usage: {USAGE}\n\n\
+             Load the output in chrome://tracing or https://ui.perfetto.dev."
+        );
+        return;
+    }
+    let out_path = cli
+        .next_arg()
         .unwrap_or_else(|| format!("results/trace_{name}.json"));
+    if let Some(extra) = cli.next_arg() {
+        cli.unknown(&extra);
+    }
 
     let mut workload: Box<dyn Workload> =
         match all_workloads_small().into_iter().find(|w| w.name() == name) {
             Some(w) => w,
-            None => {
-                eprintln!("unknown workload `{name}` (try: lnn ltn nvsa nlm vsait zeroc prae)");
-                std::process::exit(2);
-            }
+            None => cli.bail(format!(
+                "unknown workload `{name}` (try: lnn ltn nvsa nlm vsait zeroc prae)"
+            )),
         };
 
     eprintln!("running {name} under the profiler...");

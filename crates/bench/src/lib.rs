@@ -27,6 +27,7 @@ use nsai_core::event::OpEvent;
 use nsai_core::{Profiler, Report};
 use nsai_workloads::{Workload, WorkloadOutput};
 
+pub mod cli;
 pub mod fig2a;
 pub mod fig2b;
 pub mod fig2c;
@@ -35,6 +36,7 @@ pub mod fig3b;
 pub mod fig3c;
 pub mod fig4;
 pub mod fig5;
+pub mod perf;
 pub mod rec6;
 pub mod tab1;
 pub mod tab4;

@@ -1,0 +1,241 @@
+//! The noise-aware regression gate: `perf -- compare <baseline> <candidate>`.
+//!
+//! Two reports are compared entry by entry (joined on id), with a
+//! different contract per data kind:
+//!
+//! - **Counters gate hard.** Work counters are deterministic by
+//!   construction, so *any* difference is a semantic change to the
+//!   measured code — reported with a per-key diff and failing the gate.
+//!   There is no tolerance to tune and nothing the host can do to move
+//!   them.
+//! - **Wall clock gates soft.** The candidate median must stay within a
+//!   per-entry tolerance of the baseline median. The tolerance is
+//!   derived from the recorded IQRs of *both* runs (scaled by
+//!   [`GateOptions::iqr_multiplier`], floored at
+//!   [`GateOptions::min_tolerance`]): an entry that was noisy when
+//!   measured is allowed proportionally more movement, a rock-steady
+//!   one is held tight. This is the paired-run design from the serve
+//!   batching verdict — both revisions are measured on the same host
+//!   back to back, so the tolerance only has to absorb short-term
+//!   drift, not cross-machine variance.
+//!
+//! Entries present only in the baseline fail the gate (a measurement
+//! silently disappearing is exactly what a regression gate must catch);
+//! entries only in the candidate are reported as informational (new
+//! suite coverage is not a regression). A schema mismatch is a usage
+//! error ([`GateError::Schema`], exit 2), never a best-effort diff.
+
+use super::report::PerfReport;
+
+/// Tunables for the wall-clock side of the gate.
+#[derive(Debug, Clone, Copy)]
+pub struct GateOptions {
+    /// Tolerance floor as a fraction of the baseline median. Shields
+    /// micro-entries whose IQR happened to collapse to ~0 from flagging
+    /// on scheduler jitter.
+    pub min_tolerance: f64,
+    /// How many summed IQRs (baseline + candidate) of slack the
+    /// candidate median gets, as a fraction of the baseline median.
+    pub iqr_multiplier: f64,
+}
+
+impl Default for GateOptions {
+    fn default() -> Self {
+        GateOptions {
+            min_tolerance: 0.25,
+            iqr_multiplier: 2.0,
+        }
+    }
+}
+
+/// Why `compare` could not run at all (exit 2, not a gate verdict).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GateError {
+    /// The two reports use different schema versions.
+    Schema {
+        /// Baseline schema string.
+        baseline: String,
+        /// Candidate schema string.
+        candidate: String,
+    },
+}
+
+impl std::fmt::Display for GateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GateError::Schema {
+                baseline,
+                candidate,
+            } => write!(
+                f,
+                "schema mismatch: baseline `{baseline}` vs candidate `{candidate}` \
+                 (re-measure both sides with the same harness revision)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GateError {}
+
+/// Per-entry gate outcome, most severe first in the enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Deterministic counters differ — hard failure.
+    CounterMismatch,
+    /// Candidate median beyond the noise tolerance — failure.
+    WallRegression,
+    /// Entry present in the baseline but missing from the candidate —
+    /// failure (coverage silently disappeared).
+    Missing,
+    /// Within tolerance.
+    Ok,
+    /// Median improved beyond tolerance — informational, never fails.
+    WallImprovement,
+    /// Entry only in the candidate — informational.
+    New,
+}
+
+impl Verdict {
+    /// Whether this verdict fails the gate.
+    pub fn fails(self) -> bool {
+        matches!(
+            self,
+            Verdict::CounterMismatch | Verdict::WallRegression | Verdict::Missing
+        )
+    }
+}
+
+/// One entry's comparison result.
+#[derive(Debug, Clone)]
+pub struct EntryComparison {
+    /// The entry id.
+    pub id: String,
+    /// The outcome.
+    pub verdict: Verdict,
+    /// Human-readable detail lines (counter diffs, medians, tolerance).
+    pub details: Vec<String>,
+}
+
+/// The whole gate run.
+#[derive(Debug, Clone)]
+pub struct GateResult {
+    /// Per-entry outcomes, baseline order then candidate-only entries.
+    pub comparisons: Vec<EntryComparison>,
+}
+
+impl GateResult {
+    /// Whether the gate passes (no failing verdicts).
+    pub fn passed(&self) -> bool {
+        self.comparisons.iter().all(|c| !c.verdict.fails())
+    }
+
+    /// All failing comparisons.
+    pub fn failures(&self) -> impl Iterator<Item = &EntryComparison> {
+        self.comparisons.iter().filter(|c| c.verdict.fails())
+    }
+
+    /// Render the verdict table: one line per entry, detail lines for
+    /// anything that isn't a quiet pass.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.comparisons {
+            let tag = match c.verdict {
+                Verdict::Ok => "ok      ",
+                Verdict::New => "new     ",
+                Verdict::WallImprovement => "faster  ",
+                Verdict::WallRegression => "SLOWER  ",
+                Verdict::CounterMismatch => "COUNTERS",
+                Verdict::Missing => "MISSING ",
+            };
+            out.push_str(&format!("{tag} {}\n", c.id));
+            if c.verdict != Verdict::Ok {
+                for d in &c.details {
+                    out.push_str(&format!("         {d}\n"));
+                }
+            }
+        }
+        let failures = self.failures().count();
+        if failures == 0 {
+            out.push_str(&format!(
+                "gate PASSED: {} entries compared\n",
+                self.comparisons.len()
+            ));
+        } else {
+            out.push_str(&format!(
+                "gate FAILED: {failures} of {} entries violate the gate\n",
+                self.comparisons.len()
+            ));
+        }
+        out
+    }
+}
+
+/// Compare a candidate report against a baseline.
+pub fn compare(
+    baseline: &PerfReport,
+    candidate: &PerfReport,
+    options: GateOptions,
+) -> Result<GateResult, GateError> {
+    if baseline.schema != candidate.schema {
+        return Err(GateError::Schema {
+            baseline: baseline.schema.clone(),
+            candidate: candidate.schema.clone(),
+        });
+    }
+    let mut comparisons = Vec::new();
+    for base in &baseline.entries {
+        let Some(cand) = candidate.entry(&base.id) else {
+            comparisons.push(EntryComparison {
+                id: base.id.clone(),
+                verdict: Verdict::Missing,
+                details: vec!["entry present in baseline but not in candidate".to_string()],
+            });
+            continue;
+        };
+
+        let counter_diff = base.counters.diff(&cand.counters);
+        if !counter_diff.is_empty() {
+            comparisons.push(EntryComparison {
+                id: base.id.clone(),
+                verdict: Verdict::CounterMismatch,
+                details: counter_diff.iter().map(|d| d.to_string()).collect(),
+            });
+            continue;
+        }
+
+        let base_median = base.wall.median_ns;
+        let cand_median = cand.wall.median_ns;
+        let noise = (base.wall.iqr_ns + cand.wall.iqr_ns) as f64;
+        let tolerance =
+            (options.iqr_multiplier * noise / base_median.max(1) as f64).max(options.min_tolerance);
+        let allowed_ns = base_median as f64 * (1.0 + tolerance);
+        let floor_ns = base_median as f64 * (1.0 - tolerance);
+        let detail = format!(
+            "median {base_median} ns -> {cand_median} ns (tolerance ±{:.0}%, allowed ≤ {:.0} ns)",
+            tolerance * 100.0,
+            allowed_ns
+        );
+        let verdict = if (cand_median as f64) > allowed_ns {
+            Verdict::WallRegression
+        } else if (cand_median as f64) < floor_ns {
+            Verdict::WallImprovement
+        } else {
+            Verdict::Ok
+        };
+        comparisons.push(EntryComparison {
+            id: base.id.clone(),
+            verdict,
+            details: vec![detail],
+        });
+    }
+    for cand in &candidate.entries {
+        if baseline.entry(&cand.id).is_none() {
+            comparisons.push(EntryComparison {
+                id: cand.id.clone(),
+                verdict: Verdict::New,
+                details: vec!["entry not present in baseline".to_string()],
+            });
+        }
+    }
+    Ok(GateResult { comparisons })
+}

@@ -1,0 +1,133 @@
+//! Robust wall-clock statistics for perf suite entries.
+//!
+//! Each entry is measured once per repetition, with the repetitions
+//! interleaved across the whole suite (rep 0 of every entry, then rep 1,
+//! ...), so slow host drift hits all entries roughly equally instead of
+//! concentrating in whichever entry ran last. The per-entry summary is
+//! the **median** (robust to the occasional scheduler hiccup) plus the
+//! **interquartile range**, which the compare gate turns into a
+//! per-entry noise tolerance: an entry that was noisy when the baseline
+//! was recorded is allowed proportionally more wall-clock movement
+//! before it is flagged.
+//!
+//! All statistics are integer nanoseconds computed with nearest-rank
+//! quartiles — no floating point, so a stats summary of the same sample
+//! vector is bit-identical everywhere.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of one entry's wall-clock samples across repetitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WallStats {
+    /// Median sample, nanoseconds.
+    pub median_ns: u64,
+    /// Interquartile range (q3 − q1), nanoseconds.
+    pub iqr_ns: u64,
+    /// Fastest sample, nanoseconds.
+    pub min_ns: u64,
+    /// Slowest sample, nanoseconds.
+    pub max_ns: u64,
+    /// Number of samples summarized.
+    pub samples: u64,
+}
+
+impl WallStats {
+    /// Summarize a non-empty sample vector (order irrelevant).
+    ///
+    /// # Panics
+    /// Panics if `samples_ns` is empty — an entry with zero repetitions
+    /// is a harness bug, not a measurement.
+    pub fn from_samples(samples_ns: &[u64]) -> WallStats {
+        assert!(!samples_ns.is_empty(), "WallStats over an empty sample set");
+        let mut sorted = samples_ns.to_vec();
+        sorted.sort_unstable();
+        let q1 = nearest_rank(&sorted, 1, 4);
+        let q3 = nearest_rank(&sorted, 3, 4);
+        WallStats {
+            median_ns: median(&sorted),
+            iqr_ns: q3.saturating_sub(q1),
+            min_ns: sorted[0],
+            max_ns: sorted[sorted.len() - 1],
+            samples: sorted.len() as u64,
+        }
+    }
+
+    /// Median in milliseconds, for human-readable rendering only.
+    pub fn median_ms(&self) -> f64 {
+        self.median_ns as f64 / 1e6
+    }
+}
+
+/// Median of a sorted slice: middle element, or the mean of the two
+/// middle elements (rounded down) for even lengths.
+fn median(sorted: &[u64]) -> u64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        // Midpoint without overflow.
+        let a = sorted[n / 2 - 1];
+        let b = sorted[n / 2];
+        a / 2 + b / 2 + (a % 2 + b % 2) / 2
+    }
+}
+
+/// Nearest-rank quantile `num/den` of a sorted slice: the sample at
+/// ceil(n·num/den), 1-indexed, clamped into range. Deterministic and
+/// integer-only; for the small K used here (typically 5–9 repetitions)
+/// interpolation would imply precision the data doesn't have.
+fn nearest_rank(sorted: &[u64], num: usize, den: usize) -> u64 {
+    let n = sorted.len();
+    let rank = (n * num).div_ceil(den).max(1);
+    sorted[rank.min(n) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odd_sample_median_and_iqr() {
+        let s = WallStats::from_samples(&[50, 10, 30, 20, 40]);
+        assert_eq!(s.median_ns, 30);
+        // q1 = ceil(5/4)=2nd -> 20, q3 = ceil(15/4)=4th -> 40.
+        assert_eq!(s.iqr_ns, 20);
+        assert_eq!(s.min_ns, 10);
+        assert_eq!(s.max_ns, 50);
+        assert_eq!(s.samples, 5);
+    }
+
+    #[test]
+    fn even_sample_median_is_midpoint() {
+        let s = WallStats::from_samples(&[10, 20, 30, 40]);
+        assert_eq!(s.median_ns, 25);
+    }
+
+    #[test]
+    fn single_sample_degenerates_cleanly() {
+        let s = WallStats::from_samples(&[7]);
+        assert_eq!(s.median_ns, 7);
+        assert_eq!(s.iqr_ns, 0);
+        assert_eq!(s.samples, 1);
+    }
+
+    #[test]
+    fn outlier_does_not_move_the_median() {
+        let calm = WallStats::from_samples(&[100, 101, 102, 103, 104]);
+        let spiky = WallStats::from_samples(&[100, 101, 102, 103, 100_000]);
+        assert_eq!(calm.median_ns, spiky.median_ns);
+        assert!(spiky.iqr_ns >= calm.iqr_ns);
+    }
+
+    #[test]
+    fn midpoint_of_huge_values_does_not_overflow() {
+        let s = WallStats::from_samples(&[u64::MAX - 1, u64::MAX]);
+        assert_eq!(s.median_ns, u64::MAX - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn empty_samples_panic() {
+        WallStats::from_samples(&[]);
+    }
+}

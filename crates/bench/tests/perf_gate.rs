@@ -1,0 +1,182 @@
+//! Unit tests for the perf compare gate (ISSUE 8 satellite):
+//! exact-counter mismatch ⇒ fail, wall-clock within tolerance ⇒ pass,
+//! beyond tolerance ⇒ fail, schema mismatch ⇒ a [`GateError`] (the bin
+//! maps it to exit 2), plus the missing/new-entry edges.
+
+use nsai_bench::perf::{
+    compare, EntryKind, GateError, GateOptions, PerfEntry, PerfReport, Verdict, WallStats, SCHEMA,
+};
+use nsai_core::counters::Counters;
+
+fn counters(pairs: &[(&str, u64)]) -> Counters {
+    let mut c = Counters::new();
+    for (k, v) in pairs {
+        c.set(*k, *v);
+    }
+    c
+}
+
+fn entry(id: &str, median_ns: u64, iqr_ns: u64, flops: u64) -> PerfEntry {
+    PerfEntry {
+        id: id.to_string(),
+        kind: EntryKind::Micro,
+        wall: WallStats {
+            median_ns,
+            iqr_ns,
+            min_ns: median_ns.saturating_sub(iqr_ns),
+            max_ns: median_ns + iqr_ns,
+            samples: 5,
+        },
+        counters: counters(&[("flops", flops), ("bytes", 1024)]),
+    }
+}
+
+fn report(entries: Vec<PerfEntry>) -> PerfReport {
+    PerfReport {
+        schema: SCHEMA.to_string(),
+        seed: 42,
+        repetitions: 5,
+        widths: vec![1, 4],
+        entries,
+    }
+}
+
+fn verdict_of(result: &nsai_bench::perf::GateResult, id: &str) -> Verdict {
+    result
+        .comparisons
+        .iter()
+        .find(|c| c.id == id)
+        .unwrap_or_else(|| panic!("no comparison for {id}"))
+        .verdict
+}
+
+#[test]
+fn identical_reports_pass() {
+    let base = report(vec![entry("a", 1000, 50, 10), entry("b", 2000, 10, 20)]);
+    let result = compare(&base, &base.clone(), GateOptions::default()).unwrap();
+    assert!(result.passed());
+    assert!(result.comparisons.iter().all(|c| c.verdict == Verdict::Ok));
+}
+
+#[test]
+fn counter_mismatch_fails_with_per_key_diff() {
+    let base = report(vec![entry("a", 1000, 50, 10)]);
+    let mut cand = base.clone();
+    cand.entries[0].counters.set("flops", 11);
+    let result = compare(&base, &cand, GateOptions::default()).unwrap();
+    assert!(!result.passed());
+    assert_eq!(verdict_of(&result, "a"), Verdict::CounterMismatch);
+    let details = &result.comparisons[0].details;
+    assert!(
+        details.iter().any(|d| d.contains("flops: 10 -> 11")),
+        "{details:?}"
+    );
+    // The rendered verdict carries the diff for CI logs.
+    assert!(result.render().contains("flops: 10 -> 11"));
+}
+
+#[test]
+fn counter_mismatch_outranks_a_faster_wall_clock() {
+    // A "speedup" that changes the work performed is a semantic change,
+    // not an optimization win — the hard gate must still fail.
+    let base = report(vec![entry("a", 1000, 50, 10)]);
+    let mut cand = report(vec![entry("a", 100, 5, 10)]);
+    cand.entries[0].counters.set("flops", 5);
+    let result = compare(&base, &cand, GateOptions::default()).unwrap();
+    assert_eq!(verdict_of(&result, "a"), Verdict::CounterMismatch);
+}
+
+#[test]
+fn wall_clock_within_tolerance_passes() {
+    let base = report(vec![entry("a", 1000, 50, 10)]);
+    // +20% is inside the 25% floor tolerance.
+    let cand = report(vec![entry("a", 1200, 50, 10)]);
+    let result = compare(&base, &cand, GateOptions::default()).unwrap();
+    assert!(result.passed());
+    assert_eq!(verdict_of(&result, "a"), Verdict::Ok);
+}
+
+#[test]
+fn wall_clock_beyond_tolerance_fails() {
+    let base = report(vec![entry("a", 1000, 10, 10)]);
+    // +100% with tiny IQRs: far beyond both the floor and IQR slack.
+    let cand = report(vec![entry("a", 2000, 10, 10)]);
+    let result = compare(&base, &cand, GateOptions::default()).unwrap();
+    assert!(!result.passed());
+    assert_eq!(verdict_of(&result, "a"), Verdict::WallRegression);
+}
+
+#[test]
+fn noisy_entries_get_proportionally_more_slack() {
+    // 60% slower would fail a calm entry, but with IQRs at 20% of the
+    // median on both sides the IQR-derived tolerance (2 × (200+200) /
+    // 1000 = 80%) absorbs it — noise when measured buys slack when
+    // gated.
+    let base = report(vec![entry("a", 1000, 200, 10)]);
+    let cand = report(vec![entry("a", 1600, 200, 10)]);
+    let result = compare(&base, &cand, GateOptions::default()).unwrap();
+    assert!(result.passed(), "{}", result.render());
+
+    let calm_base = report(vec![entry("a", 1000, 0, 10)]);
+    let calm_cand = report(vec![entry("a", 1600, 0, 10)]);
+    let result = compare(&calm_base, &calm_cand, GateOptions::default()).unwrap();
+    assert!(!result.passed());
+}
+
+#[test]
+fn large_improvement_is_informational_not_failing() {
+    let base = report(vec![entry("a", 1000, 10, 10)]);
+    let cand = report(vec![entry("a", 200, 10, 10)]);
+    let result = compare(&base, &cand, GateOptions::default()).unwrap();
+    assert!(result.passed());
+    assert_eq!(verdict_of(&result, "a"), Verdict::WallImprovement);
+}
+
+#[test]
+fn schema_mismatch_is_a_gate_error() {
+    let base = report(vec![entry("a", 1000, 10, 10)]);
+    let mut cand = base.clone();
+    cand.schema = "perf_report/v0".to_string();
+    let err = compare(&base, &cand, GateOptions::default()).unwrap_err();
+    let GateError::Schema {
+        baseline,
+        candidate,
+    } = err;
+    assert_eq!(baseline, SCHEMA);
+    assert_eq!(candidate, "perf_report/v0");
+}
+
+#[test]
+fn missing_entry_fails_new_entry_does_not() {
+    let base = report(vec![entry("a", 1000, 10, 10), entry("gone", 500, 10, 5)]);
+    let cand = report(vec![entry("a", 1000, 10, 10), entry("fresh", 500, 10, 5)]);
+    let result = compare(&base, &cand, GateOptions::default()).unwrap();
+    assert!(!result.passed());
+    assert_eq!(verdict_of(&result, "gone"), Verdict::Missing);
+    assert_eq!(verdict_of(&result, "fresh"), Verdict::New);
+    assert!(!Verdict::New.fails());
+}
+
+#[test]
+fn custom_tolerance_options_are_respected() {
+    let base = report(vec![entry("a", 1000, 0, 10)]);
+    let cand = report(vec![entry("a", 1100, 0, 10)]);
+    // Default floor (25%) passes a +10% move; a 5% floor does not.
+    assert!(compare(&base, &cand, GateOptions::default())
+        .unwrap()
+        .passed());
+    let strict = GateOptions {
+        min_tolerance: 0.05,
+        iqr_multiplier: 2.0,
+    };
+    assert!(!compare(&base, &cand, strict).unwrap().passed());
+}
+
+#[test]
+fn report_round_trips_through_json_for_the_gate() {
+    let base = report(vec![entry("a", 1000, 50, 10)]);
+    let json = base.to_json_string();
+    let back = PerfReport::from_json_str(&json).unwrap();
+    let result = compare(&base, &back, GateOptions::default()).unwrap();
+    assert!(result.passed());
+}

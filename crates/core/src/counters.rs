@@ -1,0 +1,299 @@
+//! Deterministic work counters — the hard-gated half of a perf entry.
+//!
+//! The paper's characterization separates *work* (FLOPs, bytes moved,
+//! operator invocations, allocation traffic) from *time*. Work is a pure
+//! function of the algorithm and its inputs: with fixed seeds it must not
+//! change between two runs of the same revision, and a change between two
+//! revisions is a semantic change to the workload, never noise. Wall
+//! clock, by contrast, always carries host noise.
+//!
+//! The continuous-characterization gate (`nsai-bench --bin perf --
+//! compare`) therefore treats the two differently: [`Counters`] sections
+//! must match **exactly** between baseline and candidate, while wall-clock
+//! medians are compared against an IQR-derived tolerance. This module is
+//! the counter half: an ordered string→u64 map with stable serialization
+//! (keys sorted, so equal maps render to byte-identical JSON) and a
+//! per-key [`Counters::diff`] for gate messages.
+
+use crate::report::Report;
+use crate::taxonomy::{OpCategory, Phase};
+use serde::{Deserialize, Error, Serialize, Value};
+use std::collections::BTreeMap;
+
+/// An ordered map of deterministic counters.
+///
+/// Keys are dotted lowercase paths (`"flops"`, `"neural.bytes"`,
+/// `"alloc.count"`). Ordering is lexicographic (the `BTreeMap`), so two
+/// equal counter sets serialize to byte-identical JSON — the property the
+/// determinism acceptance test and the exact-match gate rely on.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    values: BTreeMap<String, u64>,
+}
+
+/// One key whose value differs between a baseline and a candidate
+/// counter set (`None` = the key is absent on that side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterDiff {
+    /// The counter key.
+    pub key: String,
+    /// Baseline value, if present.
+    pub baseline: Option<u64>,
+    /// Candidate value, if present.
+    pub candidate: Option<u64>,
+}
+
+impl std::fmt::Display for CounterDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn v(x: Option<u64>) -> String {
+            x.map_or_else(|| "absent".to_string(), |n| n.to_string())
+        }
+        write!(
+            f,
+            "{}: {} -> {}",
+            self.key,
+            v(self.baseline),
+            v(self.candidate)
+        )
+    }
+}
+
+impl Counters {
+    /// Empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or overwrite one counter.
+    pub fn set(&mut self, key: impl Into<String>, value: u64) {
+        self.values.insert(key.into(), value);
+    }
+
+    /// Read one counter.
+    pub fn get(&self, key: &str) -> Option<u64> {
+        self.values.get(key).copied()
+    }
+
+    /// All counters in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no counters are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Full-run counters of a profiled run: total and per-phase event
+    /// counts, effective FLOPs, and bytes moved, plus allocation traffic
+    /// and persistent storage from the memory tracker.
+    ///
+    /// Everything here is order-independent (sums over the trace), so the
+    /// values are identical across pool widths and event merge orders —
+    /// see `tests/parallel_equivalence.rs` for the trace-invariance
+    /// contract this leans on.
+    pub fn from_report(report: &Report) -> Self {
+        let mut counters = Self::for_phases(report);
+        counters.set("events", report.event_count());
+        let mem = report.memory();
+        counters.set("alloc.count", mem.alloc_count());
+        counters.set("alloc.bytes", mem.alloc_bytes_total());
+        counters.set("storage.bytes", mem.storage_bytes_total());
+        counters
+    }
+
+    /// The per-phase subset of [`Counters::from_report`] (no memory
+    /// counters, which the tracker does not attribute to phases).
+    pub fn for_phases(report: &Report) -> Self {
+        let mut counters = Self::new();
+        let mut flops_total = 0u64;
+        let mut bytes_total = 0u64;
+        for phase in Phase::ALL {
+            let phase_counters = Self::for_phase(report, phase);
+            for (key, value) in phase_counters.iter() {
+                counters.set(format!("{phase}.{key}"), value);
+            }
+            flops_total += report.phase_flops(phase);
+            bytes_total += report.phase_bytes(phase);
+        }
+        counters.set("flops", flops_total);
+        counters.set("bytes", bytes_total);
+        counters
+    }
+
+    /// Counters for one phase of a profiled run: operator invocations,
+    /// effective FLOPs, and bytes moved attributed to `phase`.
+    pub fn for_phase(report: &Report, phase: Phase) -> Self {
+        let mut counters = Self::new();
+        let events: u64 = OpCategory::ALL
+            .iter()
+            .map(|c| report.cell(phase, *c).invocations)
+            .sum();
+        counters.set("events", events);
+        counters.set("flops", report.phase_flops(phase));
+        counters.set("bytes", report.phase_bytes(phase));
+        counters
+    }
+
+    /// Keys whose values differ between `self` (baseline) and `other`
+    /// (candidate), including keys present on only one side, in key
+    /// order. Empty means the sections match exactly.
+    pub fn diff(&self, other: &Counters) -> Vec<CounterDiff> {
+        let mut keys: Vec<&String> = self.values.keys().collect();
+        for k in other.values.keys() {
+            if !self.values.contains_key(k) {
+                keys.push(k);
+            }
+        }
+        keys.sort();
+        keys.into_iter()
+            .filter_map(|key| {
+                let baseline = self.values.get(key).copied();
+                let candidate = other.values.get(key).copied();
+                (baseline != candidate).then(|| CounterDiff {
+                    key: key.clone(),
+                    baseline,
+                    candidate,
+                })
+            })
+            .collect()
+    }
+}
+
+impl Serialize for Counters {
+    /// Serialize as a flat JSON object in key order — stable across runs,
+    /// so equal counter sets are byte-identical on disk.
+    fn to_json(&self) -> Value {
+        Value::Object(
+            self.values
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::U64(*v)))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for Counters {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        let Value::Object(fields) = v else {
+            return Err(Error::msg("Counters: expected a JSON object"));
+        };
+        let mut values = BTreeMap::new();
+        for (key, value) in fields {
+            let n = value
+                .as_u64()
+                .ok_or_else(|| Error::msg(format!("Counters[{key:?}]: expected u64")))?;
+            values.insert(key.clone(), n);
+        }
+        Ok(Counters { values })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::OpEvent;
+    use crate::memory::MemoryTracker;
+    use std::time::Duration;
+
+    fn sample_report() -> Report {
+        let events = vec![
+            OpEvent {
+                seq: 0,
+                name: "sgemm".into(),
+                category: OpCategory::MatMul,
+                phase: Phase::Neural,
+                duration: Duration::from_micros(10),
+                flops: 1000,
+                bytes_read: 64,
+                bytes_written: 32,
+                output_elems: 8,
+                output_nonzeros: 8,
+            },
+            OpEvent {
+                seq: 1,
+                name: "bind".into(),
+                category: OpCategory::VectorElementwise,
+                phase: Phase::Symbolic,
+                duration: Duration::from_micros(20),
+                flops: 50,
+                bytes_read: 256,
+                bytes_written: 128,
+                output_elems: 8,
+                output_nonzeros: 4,
+            },
+        ];
+        let mut mem = MemoryTracker::new();
+        mem.alloc(100, Phase::Neural);
+        mem.alloc(200, Phase::Symbolic);
+        mem.register_storage("weights", 4096, Phase::Neural);
+        Report::from_events("t".into(), &events, mem)
+    }
+
+    #[test]
+    fn from_report_sums_phases_and_memory() {
+        let c = Counters::from_report(&sample_report());
+        assert_eq!(c.get("events"), Some(2));
+        assert_eq!(c.get("flops"), Some(1050));
+        assert_eq!(c.get("bytes"), Some(480));
+        assert_eq!(c.get("neural.flops"), Some(1000));
+        assert_eq!(c.get("symbolic.bytes"), Some(384));
+        assert_eq!(c.get("neural.events"), Some(1));
+        assert_eq!(c.get("alloc.count"), Some(2));
+        assert_eq!(c.get("alloc.bytes"), Some(300));
+        assert_eq!(c.get("storage.bytes"), Some(4096));
+    }
+
+    #[test]
+    fn for_phase_is_the_phase_slice() {
+        let c = Counters::for_phase(&sample_report(), Phase::Symbolic);
+        assert_eq!(c.get("events"), Some(1));
+        assert_eq!(c.get("flops"), Some(50));
+        assert_eq!(c.get("bytes"), Some(384));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn diff_reports_changed_and_one_sided_keys() {
+        let mut a = Counters::new();
+        a.set("flops", 10);
+        a.set("bytes", 20);
+        a.set("gone", 1);
+        let mut b = Counters::new();
+        b.set("flops", 10);
+        b.set("bytes", 21);
+        b.set("new", 2);
+        let diff = a.diff(&b);
+        let keys: Vec<&str> = diff.iter().map(|d| d.key.as_str()).collect();
+        assert_eq!(keys, vec!["bytes", "gone", "new"]);
+        assert_eq!(diff[0].baseline, Some(20));
+        assert_eq!(diff[0].candidate, Some(21));
+        assert_eq!(diff[1].candidate, None);
+        assert_eq!(diff[2].baseline, None);
+        assert!(a.diff(&a).is_empty());
+    }
+
+    #[test]
+    fn serialization_is_key_ordered_and_round_trips() {
+        let mut c = Counters::new();
+        c.set("zeta", 1);
+        c.set("alpha", 2);
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.find("alpha").unwrap() < json.find("zeta").unwrap());
+        let back: Counters = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn equal_counters_serialize_bitwise_identically() {
+        let r = sample_report();
+        let a = serde_json::to_string(&Counters::from_report(&r)).unwrap();
+        let b = serde_json::to_string(&Counters::from_report(&r)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -34,6 +34,8 @@
 //!   `chrome://tracing` / Perfetto.
 //! - [`compare`] — report diffing for optimization studies (per-phase and
 //!   per-cell speedups).
+//! - [`counters`] — order-independent deterministic work counters, the
+//!   exactly-gated half of the continuous-characterization baseline.
 //! - [`takeaways`] — programmatic checks of the paper's Takeaways 1–7
 //!   against a set of reports.
 //!
@@ -62,6 +64,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod compare;
+pub mod counters;
 pub mod error;
 pub mod event;
 pub mod export;

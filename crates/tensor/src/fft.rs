@@ -225,10 +225,26 @@ pub fn rfft(x: &[f32]) -> Result<(Vec<f32>, Vec<f32>), TensorError> {
             x.len()
         )));
     }
-    let mut re = x.to_vec();
-    let mut im = vec![0.0f32; x.len()];
-    fft_in_place(&mut re, &mut im, false);
-    Ok((re, im))
+    let n = x.len();
+    let log_n = n.trailing_zeros() as u64;
+    Ok(run_op(
+        "rfft",
+        OpCategory::DataTransform,
+        || {
+            let mut re = x.to_vec();
+            let mut im = vec![0.0f32; n];
+            fft_in_place(&mut re, &mut im, false);
+            (re, im)
+        },
+        |_out| {
+            // One complex FFT: ~5 n log n flops (butterflies).
+            OpMeta::new()
+                .flops(5 * n as u64 * log_n.max(1))
+                .bytes_read(n as u64 * ELEM)
+                .bytes_written(2 * n as u64 * ELEM)
+                .output_elems(2 * n as u64)
+        },
+    ))
 }
 
 /// Inverse FFT back to (approximately real) time domain; returns the real
@@ -248,10 +264,27 @@ pub fn irfft(re: &[f32], im: &[f32]) -> Result<Vec<f32>, TensorError> {
             re.len()
         )));
     }
-    let mut r = re.to_vec();
-    let mut i = im.to_vec();
-    fft_in_place(&mut r, &mut i, true);
-    Ok(r)
+    let n = re.len();
+    let log_n = n.trailing_zeros() as u64;
+    Ok(run_op(
+        "irfft",
+        OpCategory::DataTransform,
+        || {
+            let mut r = re.to_vec();
+            let mut i = im.to_vec();
+            fft_in_place(&mut r, &mut i, true);
+            r
+        },
+        |out| {
+            // One inverse complex FFT plus the 1/n scaling pass.
+            OpMeta::new()
+                .flops(5 * n as u64 * log_n.max(1) + 2 * n as u64)
+                .bytes_read(2 * n as u64 * ELEM)
+                .bytes_written(n as u64 * ELEM)
+                .output_elems(n as u64)
+                .output_nonzeros(nnz(out))
+        },
+    ))
 }
 
 #[cfg(test)]
