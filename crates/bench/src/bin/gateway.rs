@@ -1,0 +1,308 @@
+//! `gateway` — seeded loopback parity sweep of `nsai-gateway`.
+//!
+//! ```text
+//! gateway [--seeds 11,23,37] [--clients N] [--per-client N]
+//!         [--workload chaos|lnn] [--window N]
+//! ```
+//!
+//! For each seed this harness drives the standard closed-loop client
+//! fan-out ([`closed_loop_with`], the same load generator the serve and
+//! perf harnesses use) through a loopback TCP gateway, capturing the
+//! **raw response bytes** of every request. It then executes the
+//! identical request set directly on an in-process workload replica and
+//! compares payloads byte for byte: the gateway's core promise is that
+//! the wire adds latency, never a different answer. Same seed ⇒ same
+//! request set ⇒ bitwise-identical payloads, across worker counts and
+//! thread pools.
+//!
+//! Results go to `results/gateway_report.json`
+//! (schema `gateway_report/v1`). The process exits 1 on any parity
+//! mismatch, request error, or gateway decode error — CI greps nothing;
+//! the exit status is the verdict.
+
+use nsai_bench::cli::Cli;
+use nsai_gateway::{decode_response, Gateway, GatewayClient, GatewayConfig, RawResponse};
+use nsai_serve::chaos::ChaosWorkload;
+use nsai_serve::loadgen::{closed_loop_with, BlockingClient};
+use nsai_serve::{Response, ServeConfig, Server, ShutdownMode};
+use nsai_workloads::{CaseInput, Lnn, LnnConfig, Workload};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+const WORKERS: usize = 2;
+const QUEUE_CAPACITY: usize = 64;
+
+/// One factory serves both sides of the comparison: worker replicas
+/// inside the served stack, and the direct-execution reference replica.
+type Factory = Arc<dyn Fn() -> Box<dyn Workload + Send> + Send + Sync>;
+
+fn factory_for(name: &str) -> Option<Factory> {
+    match name {
+        "chaos" => Some(Arc::new(|| Box::new(ChaosWorkload))),
+        "lnn" => Some(Arc::new(|| Box::new(Lnn::new(LnnConfig::small())))),
+        _ => None,
+    }
+}
+
+/// The gateway transport for [`closed_loop_with`], recording every raw
+/// response so the parity check can compare wire bytes (not decoded
+/// values — decoding would mask an encoding bug on either side).
+struct ParityClient {
+    inner: GatewayClient,
+    raw: Arc<Mutex<BTreeMap<u64, RawResponse>>>,
+}
+
+impl BlockingClient for ParityClient {
+    fn call(&mut self, case: u64) -> Response {
+        match self.inner.call_raw(case) {
+            Ok(raw) => {
+                let decoded = decode_response(&raw);
+                self.raw.lock().expect("parity map lock").insert(case, raw);
+                decoded
+            }
+            Err(_) => Err(nsai_serve::ServeError::Aborted),
+        }
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct SeedReport {
+    seed: u64,
+    requests: u64,
+    completed_ok: u64,
+    errors: u64,
+    parity_checked: u64,
+    parity_failures: u64,
+    decode_errors: u64,
+    conn_dropped: u64,
+    write_errors: u64,
+    frames_in: u64,
+    frames_out: u64,
+    peak_connections: u32,
+    peak_in_flight: u32,
+    wire_p50_us: u64,
+    wire_p99_us: u64,
+    elapsed_ms: u64,
+    throughput_rps: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct GatewayReport {
+    schema: String,
+    workload: String,
+    workers: usize,
+    clients: usize,
+    per_client: usize,
+    window: u32,
+    seeds: Vec<SeedReport>,
+    total_errors: u64,
+    total_parity_failures: u64,
+    total_decode_errors: u64,
+}
+
+/// One seed's sweep: fresh serve + gateway stack, the closed loop over
+/// TCP, then byte-level parity against a direct replica.
+fn run_seed(
+    seed: u64,
+    factory: &Factory,
+    workload: &str,
+    clients: usize,
+    per_client: usize,
+    window: u32,
+) -> SeedReport {
+    let server = Server::builder(
+        ServeConfig::default()
+            .workers(WORKERS)
+            .queue_capacity(QUEUE_CAPACITY),
+    )
+    .register(workload, {
+        let factory = Arc::clone(factory);
+        move || factory()
+    })
+    .start()
+    .expect("server starts");
+    let gateway =
+        Gateway::start(server, GatewayConfig::default().window(window)).expect("gateway starts");
+    let addr = gateway.local_addr();
+    let wire_id = gateway.workload_id(workload).expect("workload registered");
+
+    let raw: Arc<Mutex<BTreeMap<u64, RawResponse>>> = Arc::new(Mutex::new(BTreeMap::new()));
+    let started = Instant::now();
+    let records = closed_loop_with(
+        |_| ParityClient {
+            inner: GatewayClient::connect(addr, wire_id).expect("gateway connect"),
+            raw: Arc::clone(&raw),
+        },
+        clients,
+        per_client,
+        seed,
+    );
+    let elapsed = started.elapsed();
+
+    let requests = records.len() as u64;
+    let completed_ok = records.iter().filter(|r| r.response.is_ok()).count() as u64;
+
+    // Direct in-process execution of the same request set, on a replica
+    // built by the same factory the served workers used.
+    let mut replica = factory();
+    replica.prepare().expect("reference replica prepares");
+    let raw = raw.lock().expect("parity map lock");
+    let mut parity_checked = 0u64;
+    let mut parity_failures = 0u64;
+    for record in &records {
+        let Some(response) = raw.get(&record.case) else {
+            continue; // transport error; already counted in `errors`
+        };
+        if response.status != nsai_gateway::wire::Status::Ok {
+            continue;
+        }
+        let direct = replica
+            .run_case(&CaseInput::new(record.case))
+            .expect("reference replica runs");
+        parity_checked += 1;
+        if response.payload != nsai_gateway::wire::encode_output(&direct) {
+            parity_failures += 1;
+            eprintln!(
+                "seed {seed} case {}: gateway bytes diverge from direct execution",
+                record.case
+            );
+        }
+    }
+    drop(raw);
+
+    let snapshot = gateway.metrics_snapshot();
+    gateway.shutdown(ShutdownMode::Drain);
+    let secs = elapsed.as_secs_f64();
+    SeedReport {
+        seed,
+        requests,
+        completed_ok,
+        errors: requests - completed_ok,
+        parity_checked,
+        parity_failures,
+        decode_errors: snapshot.decode_errors,
+        conn_dropped: snapshot.conn_dropped,
+        write_errors: snapshot.write_errors,
+        frames_in: snapshot.frames_in,
+        frames_out: snapshot.frames_out,
+        peak_connections: snapshot.peak_connections,
+        peak_in_flight: snapshot.peak_in_flight,
+        wire_p50_us: snapshot.wire_p50_us,
+        wire_p99_us: snapshot.wire_p99_us,
+        elapsed_ms: elapsed.as_millis() as u64,
+        throughput_rps: if secs == 0.0 {
+            0.0
+        } else {
+            completed_ok as f64 / secs
+        },
+    }
+}
+
+const USAGE: &str =
+    "gateway [--seeds 11,23,37] [--clients N] [--per-client N] [--workload chaos|lnn] [--window N]";
+
+fn main() {
+    let mut cli = Cli::from_env(USAGE);
+    let mut seeds: Vec<u64> = vec![11, 23, 37];
+    let mut clients: usize = 4;
+    let mut per_client: usize = 25;
+    let mut workload = "chaos".to_string();
+    let mut window: u32 = GatewayConfig::default().window;
+    while let Some(arg) = cli.next_arg() {
+        match arg.as_str() {
+            "--seeds" => {
+                let list = cli.list("--seeds").unwrap_or_else(|e| cli.bail(e));
+                seeds = list
+                    .iter()
+                    .map(|s| {
+                        s.parse()
+                            .unwrap_or_else(|e| cli.bail(format!("`--seeds` got `{s}`: {e}")))
+                    })
+                    .collect();
+            }
+            "--clients" => {
+                clients = cli.parsed("--clients").unwrap_or_else(|e| cli.bail(e));
+            }
+            "--per-client" => {
+                per_client = cli.parsed("--per-client").unwrap_or_else(|e| cli.bail(e));
+            }
+            "--workload" => {
+                workload = cli.value("--workload").unwrap_or_else(|e| cli.bail(e));
+            }
+            "--window" => {
+                window = cli.parsed("--window").unwrap_or_else(|e| cli.bail(e));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "gateway — seeded loopback parity sweep of nsai-gateway\n\n\
+                     usage: {USAGE}\n\n\
+                     Drives the standard closed-loop client fan-out through a\n\
+                     loopback TCP gateway and compares every response payload\n\
+                     byte-for-byte against direct in-process execution of the\n\
+                     same seeded request set. Writes results/gateway_report.json\n\
+                     and exits 1 on any parity mismatch, request error, or\n\
+                     gateway decode error."
+                );
+                return;
+            }
+            other => cli.unknown(other),
+        }
+    }
+    let Some(factory) = factory_for(&workload) else {
+        cli.bail(format!("unknown workload `{workload}` (valid: chaos lnn)"));
+    };
+    if clients == 0 || per_client == 0 {
+        cli.bail("`--clients` and `--per-client` must be positive");
+    }
+
+    let mut reports = Vec::new();
+    for seed in &seeds {
+        eprintln!("seed {seed}: {clients} clients x {per_client} requests over {workload}...");
+        let report = run_seed(*seed, &factory, &workload, clients, per_client, window);
+        eprintln!(
+            "seed {seed}: {}/{} ok, {} parity-checked, {} parity failures, \
+             wire p50 {} µs p99 {} µs",
+            report.completed_ok,
+            report.requests,
+            report.parity_checked,
+            report.parity_failures,
+            report.wire_p50_us,
+            report.wire_p99_us
+        );
+        reports.push(report);
+    }
+
+    let total_errors: u64 = reports.iter().map(|r| r.errors).sum();
+    let total_parity_failures: u64 = reports.iter().map(|r| r.parity_failures).sum();
+    let total_decode_errors: u64 = reports.iter().map(|r| r.decode_errors).sum();
+    let report = GatewayReport {
+        schema: "gateway_report/v1".to_string(),
+        workload,
+        workers: WORKERS,
+        clients,
+        per_client,
+        window,
+        seeds: reports,
+        total_errors,
+        total_parity_failures,
+        total_decode_errors,
+    };
+
+    let dir = Path::new("results");
+    fs::create_dir_all(dir).expect("create results/");
+    let path = dir.join("gateway_report.json");
+    let json = serde_json::to_string_pretty(&report).expect("serializable");
+    fs::write(&path, &json).expect("write report");
+    println!("wrote {} ({} bytes)", path.display(), json.len());
+    if total_errors > 0 || total_parity_failures > 0 || total_decode_errors > 0 {
+        eprintln!(
+            "error: {total_errors} request errors, {total_parity_failures} parity failures, \
+             {total_decode_errors} decode errors"
+        );
+        std::process::exit(1);
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! perf [--out PATH] [--seed N] [--reps K] [--widths 1,4]
-//!      [--sections micro,workloads,serve] [--workloads lnn,nvsa,...] [--list]
+//!      [--sections micro,workloads,serve,gateway] [--workloads lnn,nvsa,...] [--list]
 //! perf compare <BASELINE.json> <CANDIDATE.json> [--min-tolerance F] [--iqr-mult F]
 //! ```
 //!
@@ -25,7 +25,7 @@ use std::fs;
 use std::path::Path;
 
 const USAGE: &str = "perf [--out PATH] [--seed N] [--reps K] [--widths 1,4] \
-                     [--sections micro,workloads,serve] [--workloads NAMES] [--list]\n\
+                     [--sections micro,workloads,serve,gateway] [--workloads NAMES] [--list]\n\
        perf compare <BASELINE.json> <CANDIDATE.json> [--min-tolerance F] [--iqr-mult F]";
 
 fn print_help() {

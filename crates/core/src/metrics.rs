@@ -344,6 +344,119 @@ impl PeakGauge {
     }
 }
 
+/// A windowed occupancy gauge with *consistent* level/peak snapshots.
+///
+/// Like [`PeakGauge`] this tracks a current level and the monotonic
+/// maximum it has reached, but both live in **one** `AtomicU64` (level
+/// in the low 32 bits, peak in the high 32), so a single relaxed load
+/// observes a coherent pair: `peak >= level` holds in every snapshot a
+/// reader can ever take, even mid-update. `PeakGauge` cannot promise
+/// that — its two atomics can be read around a concurrent `raise` —
+/// which is fine for a report printed after the fact but not for flow
+/// control that *acts* on the reading. The gateway uses this gauge for
+/// its per-connection in-flight window (admit vs. reject is decided on
+/// `level()`) and for active-connection accounting.
+///
+/// Levels saturate at `u32::MAX`; raising past that pins the gauge
+/// rather than wrapping into the peak bits.
+#[derive(Debug, Default)]
+pub struct WindowGauge(AtomicU64);
+
+/// One coherent `(level, peak)` observation of a [`WindowGauge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSnapshot {
+    /// Current occupancy.
+    pub level: u32,
+    /// Highest occupancy observed (monotonic until
+    /// [`WindowGauge::reset_peak`]).
+    pub peak: u32,
+}
+
+impl WindowGauge {
+    const LEVEL_MASK: u64 = u32::MAX as u64;
+
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn unpack(word: u64) -> (u32, u32) {
+        (word as u32, (word >> 32) as u32)
+    }
+
+    fn pack(level: u32, peak: u32) -> u64 {
+        u64::from(level) | (u64::from(peak) << 32)
+    }
+
+    /// Increase the level by `n` (saturating at `u32::MAX`), folding the
+    /// new level into the peak in the same atomic exchange.
+    pub fn raise(&self, n: u32) {
+        let mut seen = self.0.load(Ordering::Relaxed);
+        loop {
+            let (level, peak) = Self::unpack(seen);
+            let next_level = level.saturating_add(n);
+            let next = Self::pack(next_level, peak.max(next_level));
+            match self
+                .0
+                .compare_exchange_weak(seen, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(now) => seen = now,
+            }
+        }
+    }
+
+    /// Decrease the level by `n` (saturating at 0). The peak is
+    /// untouched — it is monotonic within a measurement window.
+    pub fn lower(&self, n: u32) {
+        let mut seen = self.0.load(Ordering::Relaxed);
+        loop {
+            let (level, peak) = Self::unpack(seen);
+            let next = Self::pack(level.saturating_sub(n), peak);
+            match self
+                .0
+                .compare_exchange_weak(seen, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(now) => seen = now,
+            }
+        }
+    }
+
+    /// Current level.
+    pub fn level(&self) -> u32 {
+        Self::unpack(self.0.load(Ordering::Relaxed)).0
+    }
+
+    /// Highest level observed.
+    pub fn peak(&self) -> u32 {
+        Self::unpack(self.0.load(Ordering::Relaxed)).1
+    }
+
+    /// One coherent `(level, peak)` pair from a single atomic load.
+    pub fn snapshot(&self) -> WindowSnapshot {
+        let (level, peak) = Self::unpack(self.0.load(Ordering::Relaxed));
+        WindowSnapshot { level, peak }
+    }
+
+    /// Restart the peak from the current level (for measurement windows
+    /// over a long-lived gauge). The level itself is preserved.
+    pub fn reset_peak(&self) {
+        let mut seen = self.0.load(Ordering::Relaxed);
+        loop {
+            let level = seen & Self::LEVEL_MASK;
+            let next = Self::pack(level as u32, level as u32);
+            match self
+                .0
+                .compare_exchange_weak(seen, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(now) => seen = now,
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -496,6 +609,90 @@ mod tests {
         g.lower(10);
         assert_eq!(g.level(), 0);
         assert_eq!(g.peak(), 5);
+    }
+
+    #[test]
+    fn window_gauge_tracks_level_and_peak() {
+        let g = WindowGauge::new();
+        g.raise(3);
+        g.raise(2);
+        g.lower(4);
+        g.raise(1);
+        assert_eq!(g.level(), 2);
+        assert_eq!(g.peak(), 5);
+        g.lower(10);
+        assert_eq!(g.level(), 0);
+        assert_eq!(g.peak(), 5);
+        g.raise(1);
+        g.reset_peak();
+        assert_eq!(g.snapshot(), WindowSnapshot { level: 1, peak: 1 });
+    }
+
+    #[test]
+    fn window_gauge_saturates_instead_of_wrapping() {
+        let g = WindowGauge::new();
+        g.raise(u32::MAX);
+        g.raise(7);
+        assert_eq!(g.level(), u32::MAX);
+        assert_eq!(g.peak(), u32::MAX);
+        g.lower(u32::MAX);
+        g.lower(1);
+        assert_eq!(g.level(), 0);
+    }
+
+    #[test]
+    fn window_gauge_concurrent_updates_balance_exactly() {
+        // 4 threads, each raise(1)/lower(1) 10k times: the final level
+        // is exactly 0 and the peak is bounded by the worst possible
+        // concurrency (4), never more.
+        let g = WindowGauge::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let g = &g;
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        g.raise(1);
+                        g.lower(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(g.level(), 0);
+        assert!(g.peak() >= 1 && g.peak() <= 4, "peak {}", g.peak());
+    }
+
+    #[test]
+    fn window_gauge_snapshots_are_always_coherent() {
+        // The property PeakGauge cannot offer: under concurrent raisers
+        // and lowerers, every snapshot satisfies peak >= level. A reader
+        // hammers snapshots while writers churn; any torn observation
+        // fails the assert.
+        let g = WindowGauge::new();
+        let stop = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let (g, stop) = (&g, &stop);
+                s.spawn(move || {
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        g.raise(3);
+                        g.lower(3);
+                    }
+                });
+            }
+            let snap = g.snapshot();
+            assert!(snap.peak >= snap.level);
+            for _ in 0..200_000 {
+                let snap = g.snapshot();
+                assert!(
+                    snap.peak >= snap.level,
+                    "torn snapshot: level {} > peak {}",
+                    snap.level,
+                    snap.peak
+                );
+            }
+            stop.store(1, Ordering::Relaxed);
+        });
+        assert_eq!(g.level(), 0);
     }
 
     #[test]

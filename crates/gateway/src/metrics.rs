@@ -1,0 +1,141 @@
+//! Gateway-level aggregate metrics, lock-free like
+//! [`nsai_serve::ServerMetrics`]: connection threads update atomic
+//! counters/gauges/histograms; observers snapshot without pausing
+//! serving.
+
+use nsai_core::metrics::{Counter, LogHistogram, WindowGauge};
+
+/// Live gateway metrics. One instance per [`crate::Gateway`], shared by
+/// the accept loop and every connection thread.
+#[derive(Debug, Default)]
+pub struct GatewayMetrics {
+    /// Connections accepted and handed to a connection handler.
+    pub accepted: Counter,
+    /// Connections turned away at the accept seam: an armed
+    /// `gateway::accept` or `gateway::conn_spawn` failpoint, or a real
+    /// handler-spawn failure.
+    pub refused: Counter,
+    /// Frames successfully decoded off client connections.
+    pub frames_in: Counter,
+    /// Frames successfully written back to clients.
+    pub frames_out: Counter,
+    /// Frames that failed to decode: malformed or oversized input, a
+    /// client frame of a server-only type, or an armed
+    /// `gateway::decode` failpoint. Each one ends its connection with a
+    /// typed goodbye frame.
+    pub decode_errors: Counter,
+    /// Requests bounced by per-connection in-flight window flow control
+    /// (`window_exceeded` on the wire).
+    pub window_rejected: Counter,
+    /// Requests whose deadline expired at the gateway before
+    /// submission.
+    pub expired: Counter,
+    /// Connections that ended mid-frame, plus in-flight responses
+    /// discarded because their connection died first.
+    pub conn_dropped: Counter,
+    /// Response writes that failed (transport error or an armed
+    /// `gateway::write_response` failpoint); each ends its connection.
+    pub write_errors: Counter,
+    /// Live/peak open connections.
+    pub connections: WindowGauge,
+    /// Live/peak gateway-wide in-flight requests (submitted to serve,
+    /// response not yet written).
+    pub in_flight: WindowGauge,
+    /// Wire round-trip per completed request, decode to response write,
+    /// in microseconds.
+    pub wire_latency_us: LogHistogram,
+}
+
+impl GatewayMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Freeze the current values. Counters are individually coherent
+    /// (each gauge pair is read atomically); the set is a live snapshot,
+    /// not a stop-the-world one.
+    pub fn snapshot(&self) -> GatewaySnapshot {
+        let connections = self.connections.snapshot();
+        let in_flight = self.in_flight.snapshot();
+        GatewaySnapshot {
+            accepted: self.accepted.get(),
+            refused: self.refused.get(),
+            frames_in: self.frames_in.get(),
+            frames_out: self.frames_out.get(),
+            decode_errors: self.decode_errors.get(),
+            window_rejected: self.window_rejected.get(),
+            expired: self.expired.get(),
+            conn_dropped: self.conn_dropped.get(),
+            write_errors: self.write_errors.get(),
+            connections: connections.level,
+            peak_connections: connections.peak,
+            in_flight: in_flight.level,
+            peak_in_flight: in_flight.peak,
+            wire_p50_us: self.wire_latency_us.percentile(50.0),
+            wire_p99_us: self.wire_latency_us.percentile(99.0),
+            wire_count: self.wire_latency_us.count(),
+        }
+    }
+}
+
+/// Frozen [`GatewayMetrics`] values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatewaySnapshot {
+    /// See [`GatewayMetrics::accepted`].
+    pub accepted: u64,
+    /// See [`GatewayMetrics::refused`].
+    pub refused: u64,
+    /// See [`GatewayMetrics::frames_in`].
+    pub frames_in: u64,
+    /// See [`GatewayMetrics::frames_out`].
+    pub frames_out: u64,
+    /// See [`GatewayMetrics::decode_errors`].
+    pub decode_errors: u64,
+    /// See [`GatewayMetrics::window_rejected`].
+    pub window_rejected: u64,
+    /// See [`GatewayMetrics::expired`].
+    pub expired: u64,
+    /// See [`GatewayMetrics::conn_dropped`].
+    pub conn_dropped: u64,
+    /// See [`GatewayMetrics::write_errors`].
+    pub write_errors: u64,
+    /// Open connections at snapshot time.
+    pub connections: u32,
+    /// Peak concurrently-open connections.
+    pub peak_connections: u32,
+    /// In-flight requests at snapshot time.
+    pub in_flight: u32,
+    /// Peak concurrently in-flight requests.
+    pub peak_in_flight: u32,
+    /// Median wire round-trip, µs.
+    pub wire_p50_us: u64,
+    /// 99th-percentile wire round-trip, µs.
+    pub wire_p99_us: u64,
+    /// Completed-request count behind the latency percentiles.
+    pub wire_count: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_updates() {
+        let metrics = GatewayMetrics::new();
+        metrics.accepted.incr();
+        metrics.frames_in.add(3);
+        metrics.connections.raise(2);
+        metrics.connections.lower(1);
+        metrics.in_flight.raise(5);
+        metrics.wire_latency_us.record(100);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.accepted, 1);
+        assert_eq!(snap.frames_in, 3);
+        assert_eq!(snap.connections, 1);
+        assert_eq!(snap.peak_connections, 2);
+        assert_eq!(snap.in_flight, 5);
+        assert_eq!(snap.peak_in_flight, 5);
+        assert_eq!(snap.wire_count, 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Socket-level chaos: seeded fault schedules over the gateway's
+//! accept/decode/write failpoints (composed with serve-side faults),
+//! checked against the outcome-conservation ledger and bitwise parity
+//! of surviving responses.
+//!
+//! Seeds: the fixed matrix below, or exactly one seed when
+//! `NEUROSYM_CHAOS_SEED` is set (the CI hook), mirroring the serve
+//! chaos suite.
+
+use nsai_gateway::chaos::{
+    gateway_chaos_schedule, run_gateway_chaos, GatewayChaosConfig, WireOutcome,
+};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Failpoints are process-global: chaos episodes must not overlap.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("NEUROSYM_CHAOS_SEED") {
+        Ok(s) => vec![s.trim().parse().expect("NEUROSYM_CHAOS_SEED must be a u64")],
+        Err(_) => vec![11, 23, 37],
+    }
+}
+
+fn config(seed: u64) -> GatewayChaosConfig {
+    GatewayChaosConfig {
+        seed,
+        requests: 200,
+        clients: 4,
+        workers: 2,
+        queue_capacity: 64,
+        window: 8,
+        watchdog: Duration::from_secs(60),
+    }
+}
+
+#[test]
+fn gateway_chaos_schedule_is_a_pure_function_of_the_seed() {
+    for seed in seeds() {
+        assert_eq!(gateway_chaos_schedule(seed), gateway_chaos_schedule(seed));
+        nsai_core::failpoint::parse_spec(&gateway_chaos_schedule(seed))
+            .unwrap_or_else(|e| panic!("seed {seed}: unparseable schedule: {e}"));
+    }
+    assert_ne!(gateway_chaos_schedule(11), gateway_chaos_schedule(23));
+}
+
+#[test]
+fn fault_free_baseline_completes_everything_with_parity() {
+    let _s = serial();
+    let report = run_gateway_chaos(&config(1), None);
+    report
+        .check_conservation()
+        .unwrap_or_else(|e| panic!("baseline conservation: {e}"));
+    let checked = report
+        .check_parity()
+        .unwrap_or_else(|e| panic!("baseline parity: {e}"));
+    // Without faults, every request completes OK over the wire.
+    assert_eq!(checked, report.offered, "baseline lost requests");
+    assert!(report
+        .outcomes
+        .values()
+        .all(|o| matches!(o, WireOutcome::Ok(_))));
+    assert_eq!(report.gateway.decode_errors, 0);
+    assert_eq!(report.gateway.conn_dropped, 0);
+    assert_eq!(report.gateway.write_errors, 0);
+    assert_eq!(report.live_workers_after_traffic, 2);
+}
+
+#[test]
+fn seeded_socket_chaos_conserves_outcomes_and_preserves_parity() {
+    let _s = serial();
+    for seed in seeds() {
+        let schedule = gateway_chaos_schedule(seed);
+        eprintln!("gateway chaos seed {seed}: {schedule}");
+        let report = run_gateway_chaos(&config(seed), Some(&schedule));
+        report
+            .check_conservation()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let checked = report
+            .check_parity()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        // The schedules are lossy by design, never total: some
+        // requests must survive for the parity check to mean anything,
+        // and some must die or the chaos exercised nothing.
+        assert!(checked > 0, "seed {seed}: no surviving responses");
+        let lost = report
+            .outcomes
+            .values()
+            .filter(|o| !matches!(o, WireOutcome::Ok(_)))
+            .count();
+        assert!(lost > 0, "seed {seed}: chaos injected nothing");
+        // Worker pool at full width through any injected replica
+        // panics (containment is serve's job; the gateway must not
+        // mask its failure).
+        assert_eq!(
+            report.live_workers_after_traffic, 2,
+            "seed {seed}: worker died under socket chaos"
+        );
+        eprintln!(
+            "gateway chaos seed {seed}: {} ok / {} other of {} offered; gateway {:?}",
+            checked, lost, report.offered, report.gateway
+        );
+    }
+}

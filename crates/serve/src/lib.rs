@@ -62,5 +62,5 @@ mod server;
 
 pub use config::ServeConfig;
 pub use metrics::{MetricsSnapshot, ServerMetrics};
-pub use request::{ServeError, Ticket};
-pub use server::{Server, ServerBuilder, ShutdownMode, StartError, SubmitError};
+pub use request::{Response, ServeError, Ticket};
+pub use server::{RejectCode, Server, ServerBuilder, ShutdownMode, StartError, SubmitError};

@@ -37,6 +37,56 @@ impl fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Stable admission-rejection codes, one per [`SubmitError`] variant.
+///
+/// A transport layer (the `nsai-gateway` wire protocol) must surface
+/// *why* a request was not admitted — a client that cannot tell
+/// "back off and retry" ([`RejectCode::QueueFull`]) from "this name
+/// will never work" ([`RejectCode::UnknownWorkload`]) from "drain in
+/// progress, go elsewhere" ([`RejectCode::ShuttingDown`]) retries
+/// uselessly or gives up wrongly. [`SubmitError::reject_code`] is the
+/// one sanctioned mapping; its match is exhaustive by construction, so
+/// adding a `SubmitError` variant without a distinct code is a compile
+/// error here rather than a silently collapsed status on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum RejectCode {
+    /// The admission queue was at capacity — transient; back off.
+    QueueFull = 1,
+    /// The workload name is not registered — permanent for this server.
+    UnknownWorkload = 2,
+    /// The server is draining or stopped — permanent for this server.
+    ShuttingDown = 3,
+}
+
+impl RejectCode {
+    /// Every code, in wire-value order. Tests iterate this to prove the
+    /// mapping stays injective as variants are added.
+    pub const ALL: [RejectCode; 3] = [
+        RejectCode::QueueFull,
+        RejectCode::UnknownWorkload,
+        RejectCode::ShuttingDown,
+    ];
+
+    /// The stable wire value (`#[repr(u8)]` discriminant).
+    pub fn wire_code(self) -> u8 {
+        self as u8
+    }
+}
+
+impl SubmitError {
+    /// The typed rejection code for this error. Exhaustive on purpose:
+    /// no wildcard arm, so every future variant must pick a distinct
+    /// [`RejectCode`] (or extend the enum) at compile time.
+    pub fn reject_code(&self) -> RejectCode {
+        match self {
+            SubmitError::QueueFull => RejectCode::QueueFull,
+            SubmitError::UnknownWorkload(_) => RejectCode::UnknownWorkload,
+            SubmitError::ShuttingDown => RejectCode::ShuttingDown,
+        }
+    }
+}
+
 /// Why [`ServerBuilder::start`] failed before serving anything.
 #[derive(Debug)]
 pub enum StartError {
@@ -515,4 +565,36 @@ fn fail_batch_and_rebuild(
 
 fn micros_between(start: Instant, end: Instant) -> u64 {
     end.saturating_duration_since(start).as_micros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn every_submit_error_maps_to_a_unique_wire_code() {
+        // One variant of each kind; if SubmitError grows a variant the
+        // exhaustive match in `reject_code` breaks the build before this
+        // test can even miss it.
+        let variants = [
+            SubmitError::QueueFull,
+            SubmitError::UnknownWorkload("x".to_string()),
+            SubmitError::ShuttingDown,
+        ];
+        let codes: BTreeSet<u8> = variants
+            .iter()
+            .map(|e| e.reject_code().wire_code())
+            .collect();
+        assert_eq!(
+            codes.len(),
+            variants.len(),
+            "reject codes collapsed: {codes:?}"
+        );
+        // The catalog constant covers exactly the reachable codes.
+        let all: BTreeSet<u8> = RejectCode::ALL.iter().map(|c| c.wire_code()).collect();
+        assert_eq!(all, codes);
+        // Code 0 is reserved for OK on every wire protocol.
+        assert!(!codes.contains(&0), "0 must stay reserved for OK");
+    }
 }

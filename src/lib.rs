@@ -23,6 +23,10 @@
 //! - [`serve`] (`nsai-serve`) — in-process inference serving: dynamic
 //!   micro-batching, bounded-queue backpressure, per-request tracing,
 //!   seeded load generation.
+//! - [`gateway`] (`nsai-gateway`) — networked serving front-end: a TCP
+//!   listener speaking the framed `nsgp/1` wire protocol, per-connection
+//!   flow control, coordinated two-layer shutdown, and socket-level
+//!   chaos testing.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +49,7 @@
 
 pub use nsai_core as core;
 pub use nsai_data as data;
+pub use nsai_gateway as gateway;
 pub use nsai_logic as logic;
 pub use nsai_nn as nn;
 pub use nsai_serve as serve;
