@@ -48,6 +48,17 @@ pub struct RuleConfig {
     /// Rule-specific manifest file (used by `perf-suite-coverage`: the
     /// workspace-relative path of the perf suite's workload manifest).
     pub manifest: String,
+    /// Entry-point patterns for the call-graph rules
+    /// (`hot-path-no-alloc`, `hot-path-no-block`, `panic-reachability`):
+    /// a bare `name`, a `Type::name` qualified name, or a
+    /// `module::name` suffix. The rule walks the call graph from every
+    /// matching function; with no entries the rule is inert.
+    pub entry: Vec<String>,
+    /// Function patterns (same syntax as `entry`) that cut the
+    /// traversal: matching functions and anything only reachable
+    /// through them are exempt. Models containment boundaries such as
+    /// `catch_unwind` around workload execution.
+    pub allow_fns: Vec<String>,
 }
 
 impl Default for RuleConfig {
@@ -58,6 +69,8 @@ impl Default for RuleConfig {
             paths: Vec::new(),
             sites: Vec::new(),
             manifest: String::new(),
+            entry: Vec::new(),
+            allow_fns: Vec::new(),
         }
     }
 }
@@ -201,6 +214,8 @@ fn apply(
                 "paths" => entry.paths = parse_string_array(value, lineno)?,
                 "sites" => entry.sites = parse_string_array(value, lineno)?,
                 "manifest" => entry.manifest = parse_string(value, lineno)?,
+                "entry" => entry.entry = parse_string_array(value, lineno)?,
+                "allow-fns" | "allow_fns" => entry.allow_fns = parse_string_array(value, lineno)?,
                 _ => {
                     return Err(ConfigError {
                         line: lineno,
@@ -328,7 +343,20 @@ allow = [
         assert_eq!(det.severity, Severity::Warn);
         assert_eq!(det.allow_paths.len(), 2);
         // Unmentioned rules default to deny with no allowlist.
-        assert_eq!(cfg.rule("panic-hygiene").severity, Severity::Deny);
+        assert_eq!(cfg.rule("panic-reachability").severity, Severity::Deny);
+    }
+
+    #[test]
+    fn parses_entry_and_allow_fns_keys() {
+        let src = "[rules.hot-path-no-alloc]\n\
+                   entry = [\"Server::submit\", \"conn::reader_loop\"]\n\
+                   allow_fns = [\"run_batch\"]\n";
+        let cfg = Config::parse(src).expect("parse");
+        let rule = cfg.rule("hot-path-no-alloc");
+        assert_eq!(rule.entry, vec!["Server::submit", "conn::reader_loop"]);
+        assert_eq!(rule.allow_fns, vec!["run_batch"]);
+        // Unset everywhere else.
+        assert!(cfg.rule("determinism").entry.is_empty());
     }
 
     #[test]

@@ -54,11 +54,14 @@ pub fn scan(source: &str) -> Vec<Line> {
             depth_start: depth,
             ..Line::default()
         };
-        // Block comments and raw strings continue across lines; line
-        // comments, plain strings, and char literals do not survive a
-        // newline in valid Rust (plain strings only via a trailing `\`,
-        // which the blanking below treats as content anyway).
-        if state == State::LineComment || state == State::Str || state == State::Char {
+        // Block comments, raw strings, and plain strings continue across
+        // lines (a plain string literal may contain a bare newline, or
+        // continue via a trailing `\`); line comments and char literals
+        // do not survive a newline in valid Rust. Resetting `Str` here
+        // used to corrupt everything after a multi-line string: `//`
+        // inside the continued content opened a phantom comment and the
+        // closing quote opened a phantom string.
+        if state == State::LineComment || state == State::Char {
             state = State::Code;
         }
 
@@ -382,6 +385,59 @@ mod tests {
     fn escaped_quote_in_char_literal() {
         let lines = scan("let q = '\\''; let b = '{';\nx");
         assert_eq!(lines[1].depth_start, 0);
+    }
+
+    #[test]
+    fn multi_line_strings_do_not_leak_into_code() {
+        // A plain string may span lines (bare newline or trailing `\`);
+        // `//` and braces inside the continued content are still string
+        // content, and the closing quote must not open a phantom string.
+        let src = "let s = \"first\n  // not a comment { unsafe\";\nlet x = call();\n";
+        let lines = scan(src);
+        assert!(!lines[1].code.contains("unsafe"), "{:?}", lines[1]);
+        assert!(lines[1].comment.is_empty(), "{:?}", lines[1]);
+        assert_eq!(lines[1].depth_end, 0);
+        assert!(lines[2].code.contains("call()"), "{:?}", lines[2]);
+
+        let cont = "let s = \"one \\\n  two // three\";\nlet y = run();\n";
+        let lines = scan(cont);
+        assert!(lines[1].comment.is_empty(), "{:?}", lines[1]);
+        assert!(lines[2].code.contains("run()"), "{:?}", lines[2]);
+    }
+
+    #[test]
+    fn line_comment_inside_string_literals_is_content() {
+        let lines = scan("let u = \"https://example.com\"; after();\n");
+        assert!(lines[0].code.contains("after()"));
+        assert!(lines[0].comment.is_empty());
+
+        let lines = scan("let b = b\"bytes // not comment\"; tail();\n");
+        assert!(lines[0].code.contains("tail()"));
+        assert!(lines[0].comment.is_empty());
+    }
+
+    #[test]
+    fn raw_strings_with_fences_comments_and_quotes() {
+        // `"#` inside a ##-fenced raw string must not close it.
+        let lines = scan("let s = r##\"quote \"# // still \"## ; done();\n");
+        assert!(lines[0].code.contains("done()"), "{:?}", lines[0]);
+        assert!(lines[0].comment.is_empty());
+
+        // Raw strings span lines; comment markers inside are content.
+        let src = "let s = r#\"line1 /* not a comment\nline2 */ // nope\n\"#; fin();\n";
+        let lines = scan(src);
+        assert!(lines[1].comment.is_empty(), "{:?}", lines[1]);
+        assert!(lines[2].code.contains("fin()"), "{:?}", lines[2]);
+    }
+
+    #[test]
+    fn nested_block_comments_close_in_order() {
+        let lines = scan("/*/* inner */ still comment */ code();\n");
+        assert!(lines[0].code.contains("code()"), "{:?}", lines[0]);
+        // Unbalanced-looking content inside strings inside comments.
+        let src = "/* \"unclosed\n still */ out();\n";
+        let lines = scan(src);
+        assert!(lines[1].code.contains("out()"), "{:?}", lines[1]);
     }
 
     #[test]

@@ -12,25 +12,40 @@
 //! - kernels and workloads are clock- and hash-order-free
 //!   (`determinism`),
 //! - public kernels report operator events (`scope-coverage`),
-//! - the serving hot path cannot panic (`panic-hygiene`).
+//! - nothing reachable from a serving entry point can panic, allocate,
+//!   or park (`panic-reachability`, `hot-path-no-alloc`,
+//!   `hot-path-no-block`),
+//! - the static lock acquisition-order graph is acyclic
+//!   (`static-lock-order`), in the same edge language the
+//!   `NEUROSYM_SANITIZE=1` runtime detector exports.
+//!
+//! The analyzer runs in two passes: pass 1 lexes every file and builds
+//! a workspace model — item table ([`items`]) and a conservative
+//! name-resolution call graph ([`graph`]) — and pass 2 runs the rule
+//! catalog ([`rules`]) over it, including reachability rules
+//! ([`reach`]) from entry points configured in `lint.toml`.
 //!
 //! Configuration lives in the checked-in `lint.toml` at the workspace
 //! root; individual sites are waived inline with
 //! `// nsai-lint: allow(<rule>): <justification>`.
 //!
 //! Run it as `cargo run -p nsai-analyze -- --deny-warnings` (what CI's
-//! `lint` job does), or use [`analyze_path`] / [`rules::analyze`]
+//! `lint-fast` job does), or use [`analyze_path`] / [`rules::analyze`]
 //! programmatically (the fixture tests do).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod graph;
+pub mod items;
 pub mod lexer;
+pub mod lockorder;
+pub mod reach;
 pub mod rules;
 
 pub use config::{Config, ConfigError, Severity};
-pub use rules::{Finding, RULES};
+pub use rules::{analyze_all, Finding, RULES};
 
 use std::fs;
 use std::io;
@@ -75,6 +90,29 @@ pub fn analyze_path(root: &Path) -> io::Result<Vec<Finding>> {
     let config = load_config(root).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     let files = collect_sources(root, &config)?;
     Ok(rules::analyze(&files, &config))
+}
+
+/// The static lock acquisition-order graph of a scanned file set, as
+/// sorted `(held, acquired)` label pairs — the same edge language
+/// `parking_lot::deadlock::observed_edges()` exports at runtime under
+/// `NEUROSYM_SANITIZE=1`. Because the static side over-approximates
+/// (name resolution, held-to-end-of-function guards), every edge the
+/// runtime detector can ever observe must appear here; the
+/// `lock_order_crosscheck` integration test asserts that superset
+/// property against a live run.
+pub fn lock_order_edges(files: &[(String, String)]) -> Vec<(String, String)> {
+    let ctxs: Vec<items::FileCtx> = files
+        .iter()
+        .map(|(path, source)| items::FileCtx::build(path, source))
+        .collect();
+    let graph = graph::CallGraph::build(&ctxs);
+    let mut edges: Vec<(String, String)> = lockorder::lock_edges(&graph, &ctxs)
+        .into_iter()
+        .map(|e| (e.from, e.to))
+        .collect();
+    edges.sort();
+    edges.dedup();
+    edges
 }
 
 /// Parse `<root>/lint.toml`, falling back to [`Config::default`] when

@@ -1,19 +1,33 @@
 //! CLI for the workspace invariant linter.
 //!
 //! ```text
-//! nsai-analyze [--root <dir>] [--config <lint.toml>] [--deny-warnings] [--quiet]
+//! nsai-analyze [--root <dir>] [--config <lint.toml>] [--format text|json]
+//!              [--deny-warnings] [--quiet]
 //! ```
+//!
+//! `--format json` emits the stable `nsai-analyze/v1` schema: one
+//! object with a `findings` array of
+//! `{rule, path, line, severity, message, waived}` — including waived
+//! findings, which the text format suppresses (waived findings never
+//! affect the exit code in either format).
 //!
 //! Exit codes: `0` clean, `1` findings at deny severity (or any finding
 //! under `--deny-warnings`), `2` usage or configuration error.
 
-use nsai_analyze::{collect_sources, rules, Config, Severity};
+use nsai_analyze::{collect_sources, rules, Config, Finding, Severity};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
 
 struct Args {
     root: PathBuf,
     config: Option<PathBuf>,
+    format: Format,
     deny_warnings: bool,
     quiet: bool,
 }
@@ -22,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: PathBuf::from("."),
         config: None,
+        format: Format::Text,
         deny_warnings: false,
         quiet: false,
     };
@@ -34,17 +49,76 @@ fn parse_args() -> Result<Args, String> {
             "--config" => {
                 args.config = Some(PathBuf::from(it.next().ok_or("--config needs a path")?));
             }
+            "--format" => {
+                args.format = match it.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => {
+                        return Err(format!(
+                            "--format must be `text` or `json`, got {:?}",
+                            other.unwrap_or("nothing")
+                        ))
+                    }
+                };
+            }
             "--deny-warnings" => args.deny_warnings = true,
             "--quiet" | "-q" => args.quiet = true,
             "--help" | "-h" => {
                 return Err("usage: nsai-analyze [--root <dir>] [--config <lint.toml>] \
-                            [--deny-warnings] [--quiet]"
+                            [--format text|json] [--deny-warnings] [--quiet]"
                     .to_string())
             }
             other => return Err(format!("unknown argument {other:?} (see --help)")),
         }
     }
     Ok(args)
+}
+
+/// JSON string escaping per RFC 8259 (the analyzer is dependency-free,
+/// so this is hand-rolled): `"`, `\`, and control characters.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the `nsai-analyze/v1` report object.
+fn render_json(findings: &[Finding], files: usize, denied: usize, warned: usize) -> String {
+    let mut out = String::from("{\n  \"schema\": \"nsai-analyze/v1\",\n");
+    out.push_str(&format!(
+        "  \"files\": {files},\n  \"errors\": {denied},\n  \"warnings\": {warned},\n"
+    ));
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \
+             \"severity\": \"{}\", \"message\": \"{}\", \"waived\": {}}}",
+            json_escape(&f.rule),
+            json_escape(&f.path),
+            f.line,
+            f.severity,
+            json_escape(&f.message),
+            f.waived
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}");
+    out
 }
 
 fn main() -> ExitCode {
@@ -78,19 +152,30 @@ fn main() -> ExitCode {
         }
     };
 
-    let findings = rules::analyze(&files, &config);
+    // The full set (waived included) feeds the JSON report; only
+    // unwaived findings print in text form or count toward the exit
+    // code.
+    let all = rules::analyze_all(&files, &config);
+    let findings: Vec<&Finding> = all.iter().filter(|f| !f.waived).collect();
     let denied = findings
         .iter()
         .filter(|f| f.severity == Severity::Deny)
         .count();
     let warned = findings.len() - denied;
 
-    if !args.quiet {
-        for finding in &findings {
-            println!("{finding}");
+    match args.format {
+        Format::Json => {
+            println!("{}", render_json(&all, files.len(), denied, warned));
+        }
+        Format::Text => {
+            if !args.quiet {
+                for finding in &findings {
+                    println!("{finding}");
+                }
+            }
         }
     }
-    if !args.quiet || !findings.is_empty() {
+    if args.format == Format::Text && (!args.quiet || !findings.is_empty()) {
         eprintln!(
             "nsai-analyze: {} files, {denied} error(s), {warned} warning(s)",
             files.len()

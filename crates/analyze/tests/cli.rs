@@ -80,6 +80,90 @@ fn warnings_gate_only_under_deny_warnings() {
 }
 
 #[test]
+fn json_format_reports_waived_and_unwaived_findings() {
+    let tree = TempTree::new("json");
+    tree.write(
+        "src/lib.rs",
+        concat!(
+            "pub fn f(p: *mut u8) {\n",
+            "    unsafe { *p = 0 };\n",
+            "    / nsai-lint: allow(unsafe-audit): test waiver for the JSON schema.\n",
+            "    unsafe { *p = 1 };\n",
+            "}\n",
+        )
+        .replace("/ nsai", "// nsai")
+        .as_str(),
+    );
+    let (code, out) = analyze(&tree, &["--format", "json"]);
+    // The unwaived finding still gates the exit code.
+    assert_eq!(code, 1, "{out}");
+    // Stable schema header and per-finding fields.
+    assert!(out.contains("\"schema\": \"nsai-analyze/v1\""), "{out}");
+    assert!(out.contains("\"errors\": 1"), "{out}");
+    assert!(
+        out.contains(
+            "\"rule\": \"unsafe-audit\", \"path\": \"src/lib.rs\", \"line\": 2, \
+             \"severity\": \"deny\""
+        ),
+        "{out}"
+    );
+    // Waived findings are present in JSON (text mode hides them) and
+    // marked as such.
+    assert!(out.contains("\"line\": 4"), "{out}");
+    assert!(out.contains("\"waived\": true"), "{out}");
+    // No text summary line pollutes the machine-readable stream.
+    assert!(!out.contains("error(s)"), "{out}");
+}
+
+#[test]
+fn text_findings_match_the_ci_problem_matcher() {
+    // The GitHub problem matcher (.github/problem-matchers/) parses
+    // `path:line: severity [rule] message`; keep the text format and
+    // that regex in lockstep.
+    let tree = TempTree::new("matcher");
+    tree.write(
+        "src/lib.rs",
+        "pub fn f(p: *mut u8) {\n    unsafe { *p = 0 };\n}\n",
+    );
+    let (code, out) = analyze(&tree, &[]);
+    assert_eq!(code, 1, "{out}");
+    let line = out
+        .lines()
+        .find(|l| l.contains("unsafe-audit"))
+        .expect("finding line");
+    let pattern = regex_lite(line);
+    assert!(
+        pattern,
+        "finding line does not match the matcher regex: {line}"
+    );
+}
+
+/// Hand-rolled check equivalent to the problem-matcher regexp
+/// `^(.+):(\d+): (deny|warn) \[([a-z-]+)\] (.+)$` — the analyzer is
+/// dependency-free, so no regex crate.
+fn regex_lite(line: &str) -> bool {
+    let Some((path_line, rest)) = line.split_once(": ") else {
+        return false;
+    };
+    let Some((path, lineno)) = path_line.rsplit_once(':') else {
+        return false;
+    };
+    if path.is_empty() || lineno.parse::<u32>().is_err() {
+        return false;
+    }
+    let Some(rest) = rest
+        .strip_prefix("deny [")
+        .or_else(|| rest.strip_prefix("warn ["))
+    else {
+        return false;
+    };
+    let Some((rule, message)) = rest.split_once("] ") else {
+        return false;
+    };
+    rule.chars().all(|c| c.is_ascii_lowercase() || c == '-') && !message.is_empty()
+}
+
+#[test]
 fn config_errors_exit_two() {
     let tree = TempTree::new("config");
     tree.write("lint.toml", "[rules.determinism]\nseverity = \"fatal\"\n")

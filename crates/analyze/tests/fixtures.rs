@@ -217,45 +217,88 @@ fn scope_coverage_waiver_handles_metadata_accessors() {
     assert!(run(&kernel_config(), &[("kernels/ops.rs", src)]).is_empty());
 }
 
-// ---------------------------------------------------------- panic-hygiene
+// ----------------------------------------------------- panic-reachability
 
 fn hot_path_config() -> Config {
-    Config::parse("[rules.panic-hygiene]\npaths = [\"hot/\"]\n").expect("config")
+    Config::parse("[rules.panic-reachability]\nentry = [\"submit\"]\n").expect("config")
 }
 
 #[test]
 fn unwrap_on_the_hot_path_is_reported() {
-    let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    let src = "pub fn submit(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
     let findings = run(&hot_path_config(), &[("hot/server.rs", src)]);
-    assert_eq!(rule_names(&findings), vec!["panic-hygiene"]);
+    assert_eq!(rule_names(&findings), vec!["panic-reachability"]);
 }
 
 #[test]
 fn panic_macros_on_the_hot_path_are_reported() {
-    let src = "pub fn f() {\n    unreachable!(\"cannot happen\")\n}\n";
+    let src = "pub fn submit() {\n    unreachable!(\"cannot happen\")\n}\n";
     let findings = run(&hot_path_config(), &[("hot/server.rs", src)]);
-    assert_eq!(rule_names(&findings), vec!["panic-hygiene"]);
+    assert_eq!(rule_names(&findings), vec!["panic-reachability"]);
 }
 
 #[test]
-fn panic_hygiene_is_opt_in_by_path() {
-    let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
-    // Outside the configured paths: silent.
-    assert!(run(&hot_path_config(), &[("src/cold.rs", src)]).is_empty());
-    // Without any configured paths the rule checks nothing at all.
+fn panic_reachability_follows_calls_not_paths() {
+    // The panic lives in a helper file the entry point calls into: the
+    // old path-scoped rule missed this, the call-graph rule does not.
+    let entry = "pub fn submit() {\n    helper()\n}\n";
+    let helper = "pub fn helper() {\n    panic!(\"boom\")\n}\n";
+    let findings = run(
+        &hot_path_config(),
+        &[("hot/server.rs", entry), ("hot/util/helper.rs", helper)],
+    );
+    assert_eq!(rule_names(&findings), vec!["panic-reachability"]);
+    assert_eq!(findings[0].path, "hot/util/helper.rs");
+    assert!(
+        findings[0].message.contains("submit -> helper"),
+        "{}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn panic_reachability_is_opt_in_by_entry() {
+    // A panicking fn no entry point reaches: silent.
+    let src = "pub fn submit() {}\npub fn cold(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    assert!(run(&hot_path_config(), &[("hot/server.rs", src)]).is_empty());
+    // Without any configured entries the rule checks nothing at all.
+    let src = "pub fn submit(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
     assert!(run(&Config::default(), &[("hot/server.rs", src)]).is_empty());
 }
 
 #[test]
 fn hot_path_unwrap_in_tests_is_fine() {
-    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        Some(1).unwrap();\n    }\n}\n";
+    // The real entry is clean; an in-test fn of the same name (and its
+    // unwrap) is invisible to the item table.
+    let src = "pub fn submit() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn submit() {\n        Some(1).unwrap();\n    }\n}\n";
     assert!(run(&hot_path_config(), &[("hot/server.rs", src)]).is_empty());
 }
 
 #[test]
+fn stale_entry_point_is_reported_against_lint_toml() {
+    let src = "pub fn serve_one() {}\n";
+    let findings = run(&hot_path_config(), &[("hot/server.rs", src)]);
+    assert_eq!(rule_names(&findings), vec!["panic-reachability"]);
+    assert_eq!(findings[0].path, "lint.toml");
+    assert!(findings[0].message.contains("`submit`"), "{findings:?}");
+}
+
+#[test]
 fn hot_path_waiver_requires_justification_and_works() {
-    let src = "pub fn shutdown(h: std::thread::JoinHandle<()>) {\n    // nsai-lint: allow(panic-hygiene): shutdown is not the request path.\n    h.join().unwrap();\n}\n";
+    let src = "pub fn submit(h: std::thread::JoinHandle<()>) {\n    // nsai-lint: allow(panic-reachability): join error means a worker died; surfacing loudly is correct.\n    h.join().unwrap();\n}\n";
     assert!(run(&hot_path_config(), &[("hot/server.rs", src)]).is_empty());
+}
+
+#[test]
+fn allow_fns_model_containment_boundaries() {
+    let config = Config::parse(
+        "[rules.panic-reachability]\nentry = [\"submit\"]\nallow_fns = [\"run_batch\"]\n",
+    )
+    .expect("config");
+    // submit -> run_batch -> kernel: the dispatcher wraps run_batch in
+    // catch_unwind, so the kernel's panic is contained by design.
+    let src = "pub fn submit() {\n    run_batch()\n}\npub fn run_batch() {\n    kernel()\n}\npub fn kernel() {\n    panic!(\"contained\")\n}\n";
+    assert!(run(&config, &[("hot/server.rs", src)]).is_empty());
 }
 
 // ------------------------------------------------------- failpoint-hygiene

@@ -1,0 +1,70 @@
+//! Static ↔ runtime lock-order cross-check.
+//!
+//! The `static-lock-order` rule promises that its acquisition-order
+//! graph (propagated over the conservative call graph) is a *superset*
+//! of anything the `NEUROSYM_SANITIZE=1` runtime detector can observe:
+//! the static side may over-approximate (guards assumed held to
+//! function end, every name-resolution candidate taken), but a runtime
+//! edge missing from the static graph would mean the analyzer dropped a
+//! real acquisition path — a soundness bug.
+//!
+//! This test exercises the real pool + failpoint stack under the
+//! vendored `parking_lot` shim's edge recorder, then replays the
+//! workspace through [`nsai_analyze::lock_order_edges`] and asserts
+//! containment edge by edge.
+
+use nsai_analyze::{collect_sources, lock_order_edges};
+use nsai_core::failpoint::FailpointGuard;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn static_lock_order_graph_covers_every_runtime_observed_edge() {
+    // The detector caches its env check; force it on for this process.
+    parking_lot::deadlock::force(Some(true));
+    // Arm the spawn site with a benign always-yield spec: `fire()` then
+    // has to consult the registry lock *inside* the pool's slot
+    // critical section, which is exactly the cross-crate edge the
+    // static rule must reproduce.
+    let fp = FailpointGuard::arm("tensor::par::worker_spawn", "yield");
+    let counter = AtomicUsize::new(0);
+    nsai_tensor::par::with_threads(2, || {
+        nsai_tensor::par::parallel_for(8, &|_chunk| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    drop(fp);
+    parking_lot::deadlock::force(None);
+    assert_eq!(
+        counter.load(Ordering::Relaxed),
+        8,
+        "pool must run every chunk"
+    );
+
+    let runtime = parking_lot::deadlock::observed_edges();
+    assert!(
+        runtime.contains(&(
+            "tensor::par::slot".to_string(),
+            "core::failpoint::registry".to_string()
+        )),
+        "the armed failpoint must be consulted inside the slot critical \
+         section; observed: {runtime:?}"
+    );
+
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let config = nsai_analyze::load_config(&root).expect("workspace lint.toml");
+    let files = collect_sources(&root, &config).expect("walk workspace sources");
+    let static_edges = lock_order_edges(&files);
+    assert!(
+        !static_edges.is_empty(),
+        "the workspace has labeled locks; the static graph cannot be empty"
+    );
+    for (held, acquired) in &runtime {
+        assert!(
+            static_edges.contains(&(held.clone(), acquired.clone())),
+            "runtime-observed edge {held} -> {acquired} is missing from the \
+             static acquisition-order graph — the analyzer dropped a real \
+             path. static: {static_edges:#?}"
+        );
+    }
+}

@@ -284,7 +284,7 @@ fn fnv1a(s: &str) -> u64 {
 
 fn registry() -> &'static Mutex<BTreeMap<String, SiteState>> {
     static REGISTRY: OnceLock<Mutex<BTreeMap<String, SiteState>>> = OnceLock::new();
-    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()).with_label("core::failpoint::registry"))
 }
 
 /// Cold path: resolve `NEUROSYM_FAILPOINTS` exactly once. A malformed

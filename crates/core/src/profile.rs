@@ -107,9 +107,21 @@ struct ProfilerInner {
 /// Activate the profiler on the current thread with [`Profiler::activate`];
 /// the returned guard deactivates it when dropped. Activation nests: an inner
 /// activation shadows the outer one until its guard drops.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Profiler {
     inner: Arc<Mutex<ProfilerInner>>,
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Profiler {
+            // One sanitizer label for every profiler instance — the
+            // static↔runtime lock-order cross-check keys locks by field.
+            inner: Arc::new(
+                Mutex::new(ProfilerInner::default()).with_label("core::profile::inner"),
+            ),
+        }
+    }
 }
 
 impl Profiler {

@@ -115,7 +115,7 @@ impl Gateway {
             window_cap: config.window.max(1),
             state: AtomicU8::new(STATE_RUNNING),
             scope: Scope::capture(),
-            conns: parking_lot::Mutex::new(Vec::new()),
+            conns: parking_lot::Mutex::new(Vec::new()).with_label("gateway::server::conns"),
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -126,7 +126,8 @@ impl Gateway {
         Ok(Gateway {
             shared,
             local_addr,
-            acceptor: parking_lot::Mutex::new(Some(acceptor)),
+            acceptor: parking_lot::Mutex::new(Some(acceptor))
+                .with_label("gateway::server::acceptor"),
         })
     }
 
@@ -202,6 +203,7 @@ impl Gateway {
             // responder mid-drain.
             self.shared.server.shutdown(ShutdownMode::Abort);
         }
+        // nsai-lint: allow(static-lock-order): the acceptor→conns "cycle" exists only in the conservative graph — `.shutdown(` on TcpStream/ConnHandle name-collides with Gateway::shutdown, whose re-entry is a CAS-guarded no-op, and the acceptor guard above is a temporary released before conns is taken.
         let conns: Vec<ConnHandle> = std::mem::take(&mut *self.shared.conns.lock());
         for handle in &conns {
             handle.shutdown(match mode {

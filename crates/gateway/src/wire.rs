@@ -306,11 +306,11 @@ pub fn read_frame(reader: &mut impl Read) -> Result<Frame, WireError> {
             header[7]
         )));
     }
-    // nsai-lint: allow(panic-hygiene): fixed-width slices of the checked 28-byte header — infallible
+    // nsai-lint: allow(panic-reachability): fixed-width slices of the checked 28-byte header — infallible
     let id = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
-    // nsai-lint: allow(panic-hygiene): fixed-width slices of the checked 28-byte header — infallible
+    // nsai-lint: allow(panic-reachability): fixed-width slices of the checked 28-byte header — infallible
     let aux = u64::from_le_bytes(header[16..24].try_into().expect("8-byte slice"));
-    // nsai-lint: allow(panic-hygiene): fixed-width slices of the checked 28-byte header — infallible
+    // nsai-lint: allow(panic-reachability): fixed-width slices of the checked 28-byte header — infallible
     let len = u32::from_le_bytes(header[24..28].try_into().expect("4-byte slice"));
     if len > MAX_PAYLOAD {
         return Err(WireError::TooLarge(len));
@@ -335,7 +335,7 @@ pub fn read_frame(reader: &mut impl Read) -> Result<Frame, WireError> {
                 id,
                 workload: aux as u32,
                 deadline_us: (aux >> 32) as u32,
-                // nsai-lint: allow(panic-hygiene): payload length checked to be exactly 8 above
+                // nsai-lint: allow(panic-reachability): payload length checked to be exactly 8 above
                 case: u64::from_le_bytes(payload[..8].try_into().expect("8-byte slice")),
             })
         }

@@ -44,7 +44,8 @@ impl BoundedQueue {
             state: Mutex::new(QueueState {
                 items: VecDeque::with_capacity(capacity.min(1024)),
                 closed: false,
-            }),
+            })
+            .with_label("serve::queue::state"),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity,
@@ -99,6 +100,7 @@ impl BoundedQueue {
                 self.not_empty.notify_all();
                 return Ok(depth);
             }
+            // nsai-lint: allow(hot-path-no-block): push_wait is the opt-in blocking-admission variant (submit_blocking's closed-loop contract); Server::submit reaches it only because the graph cannot see submit_inner's `blocking` branch.
             self.not_full.wait(&mut state);
         }
     }

@@ -243,7 +243,7 @@ impl ServerBuilder {
 
         Ok(Server {
             shared,
-            workers: parking_lot::Mutex::new(Some(workers)),
+            workers: parking_lot::Mutex::new(Some(workers)).with_label("serve::server::workers"),
         })
     }
 }
@@ -321,6 +321,7 @@ impl Server {
         let shared = &self.shared;
         let index = shared
             .workload_index(workload)
+            // nsai-lint: allow(hot-path-no-alloc): allocates only on the unknown-workload reject path; admitted requests never take this closure.
             .ok_or_else(|| SubmitError::UnknownWorkload(workload.to_string()))?;
         // Chaos site: `return_err` sheds the request at admission as if
         // the queue were full — the caller-visible backpressure path.
@@ -403,7 +404,7 @@ impl Server {
         for worker in workers {
             // A worker that panicked outside `catch_unwind` (a bug, not
             // a workload panic) surfaces here rather than hanging.
-            // nsai-lint: allow(panic-hygiene): shutdown is not the request path; a worker dying outside its catch_unwind is a server bug that must surface loudly.
+            // nsai-lint: allow(panic-reachability): shutdown is not the request path; a worker dying outside its catch_unwind is a server bug that must surface loudly.
             worker.join().expect("serve worker exited cleanly");
         }
     }

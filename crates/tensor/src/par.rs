@@ -140,7 +140,7 @@ fn pool() -> &'static Arc<Inner> {
     static POOL: OnceLock<Arc<Inner>> = OnceLock::new();
     POOL.get_or_init(|| {
         Arc::new(Inner {
-            slot: Mutex::new(Slot::default()),
+            slot: Mutex::new(Slot::default()).with_label("tensor::par::slot"),
             work: Condvar::new(),
             done: Condvar::new(),
         })
@@ -162,6 +162,7 @@ fn worker_loop(inner: Arc<Inner>) {
                         break picked;
                     }
                 }
+                // nsai-lint: allow(hot-path-no-block): the pool's task-arrival parking — an idle worker is supposed to sleep until a job is published.
                 inner.work.wait(&mut slot);
             }
         };
@@ -213,6 +214,7 @@ fn run_pooled(width: usize, n_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
     {
         let mut slot = inner.slot.lock();
         while slot.job.is_some() {
+            // nsai-lint: allow(hot-path-no-block): back-to-back submissions serialize here by design — the pool runs exactly one job at a time.
             inner.done.wait(&mut slot);
         }
         while slot.workers < width - 1 {
@@ -250,6 +252,7 @@ fn run_pooled(width: usize, n_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
                 job.slots = 0;
             }
             while slot.running > 0 {
+                // nsai-lint: allow(hot-path-no-block): the completion barrier — parallel_for must not return before every chunk of its job has finished.
                 self.0.done.wait(&mut slot);
             }
             slot.job = None;
@@ -400,7 +403,8 @@ impl<'a, T> UnsafeSlice<'a, T> {
         UnsafeSlice {
             ptr: slice.as_mut_ptr(),
             len: slice.len(),
-            claims: sanitize::enabled().then(|| Mutex::new(BTreeMap::new())),
+            claims: sanitize::enabled()
+                .then(|| Mutex::new(BTreeMap::new()).with_label("tensor::par::claims")),
             _marker: PhantomData,
         }
     }

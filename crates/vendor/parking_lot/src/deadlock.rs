@@ -44,6 +44,12 @@ static NEXT_ID: AtomicUsize = AtomicUsize::new(1);
 /// this crate's wrapper) so the detector never recurses into itself.
 static EDGES: StdMutex<BTreeMap<usize, BTreeSet<usize>>> = StdMutex::new(BTreeMap::new());
 
+/// Human-readable identities for locks that opted in via
+/// [`crate::Mutex::with_label`]. Only labeled locks appear in
+/// [`observed_edges`] — test-local locks stay out of the export without
+/// any filtering on the caller's side.
+static LABELS: StdMutex<BTreeMap<usize, &'static str>> = StdMutex::new(BTreeMap::new());
+
 thread_local! {
     /// Stack of lock ids currently held by this thread, in acquisition
     /// order.
@@ -149,6 +155,51 @@ pub(crate) fn on_reacquire(id: usize) {
         }
     }
     HELD.with(|h| h.borrow_mut().push(id));
+}
+
+/// Record a stable label for a lock (no-op while the detector is off, so
+/// labeling costs one relaxed atomic load on production paths). Labels
+/// feed [`observed_edges`]; the naming convention is the static
+/// analyzer's `<crate>::<module>::<field>` so the static↔runtime
+/// lock-order cross-check can align the two graphs by string equality.
+pub(crate) fn register_label(slot: &AtomicUsize, label: &'static str) {
+    if !enabled() {
+        return;
+    }
+    let id = lock_id(slot);
+    LABELS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(id, label);
+}
+
+/// Export the lock-order edges observed so far, restricted to edges
+/// where **both** ends are labeled locks. Returned as sorted, deduped
+/// `(held, acquired)` label pairs — the same orientation the static
+/// analyzer's `static-lock-order` rule uses, so a runtime edge missing
+/// from the static graph is a soundness bug in the analyzer.
+///
+/// Several lock *instances* may share a label (every request's response
+/// slot carries the same one); their edges collapse onto one node, which
+/// matches the static view where a field is a single lock identity.
+pub fn observed_edges() -> Vec<(String, String)> {
+    let labels = LABELS.lock().unwrap_or_else(|e| e.into_inner());
+    let edges = EDGES.lock().unwrap_or_else(|e| e.into_inner());
+    let mut out: Vec<(String, String)> = Vec::new();
+    for (held, acquired) in edges.iter() {
+        let Some(h) = labels.get(held) else { continue };
+        for a in acquired {
+            match labels.get(a) {
+                // Same label on both ends (two instances of the same
+                // field): not an order edge between distinct locks.
+                Some(l) if l != h => out.push((h.to_string(), l.to_string())),
+                _ => {}
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
 }
 
 /// Assign (or fetch) the lock's tracking identity. Ids start at 1; a lost
@@ -264,6 +315,25 @@ mod tests {
             let _go = outer.lock();
             let _gi = inner.lock();
         }
+    }
+
+    #[test]
+    fn observed_edges_exports_only_labeled_pairs() {
+        let _mode = Forced::set(true);
+        let a = Mutex::new(()).with_label("test::edges::alpha");
+        let b = Mutex::new(()).with_label("test::edges::beta");
+        let unlabeled = Mutex::new(());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+            let _gu = unlabeled.lock();
+        }
+        let edges = observed_edges();
+        assert!(edges.contains(&("test::edges::alpha".into(), "test::edges::beta".into())));
+        // Edges touching the unlabeled lock are filtered out.
+        assert!(edges
+            .iter()
+            .all(|(h, a)| h.starts_with("test::edges::") && a.starts_with("test::edges::")));
     }
 
     #[test]

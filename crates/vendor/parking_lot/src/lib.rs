@@ -59,6 +59,17 @@ impl<T> Mutex<T> {
     pub fn into_inner(self) -> T {
         self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
+
+    /// Attach a stable identity for the sanitizer's lock-order edge
+    /// export ([`deadlock::observed_edges`]). By convention the label is
+    /// the static analyzer's lock identity, `<crate>::<module>::<field>`,
+    /// so the static↔runtime cross-check can align the two order graphs
+    /// by string equality. A no-op (one relaxed atomic load) when the
+    /// sanitizer is disabled.
+    pub fn with_label(self, label: &'static str) -> Self {
+        deadlock::register_label(&self.id, label);
+        self
+    }
 }
 
 impl<T: ?Sized> Mutex<T> {
@@ -163,6 +174,13 @@ impl<T> RwLock<T> {
     /// Consume the lock, returning the inner value.
     pub fn into_inner(self) -> T {
         self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Attach a stable identity for the sanitizer's lock-order edge
+    /// export — see [`Mutex::with_label`].
+    pub fn with_label(self, label: &'static str) -> Self {
+        deadlock::register_label(&self.id, label);
+        self
     }
 }
 
